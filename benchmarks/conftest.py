@@ -1,0 +1,43 @@
+"""Shared helpers for the reproduction benchmarks.
+
+Every module regenerates one table/figure of the paper: it prints the
+paper-style rows (the reproducible artifact) and feeds one representative
+configuration through pytest-benchmark for timing.  I/O counts, round
+counts and message-size bounds are deterministic; wall-clock numbers are
+this machine's, not 1998 Pentiums' — EXPERIMENTS.md records the shape
+comparisons.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+def print_table(title: str, headers: list[str], rows: list[list]) -> None:
+    """Render a compact fixed-width table to stdout (shown with -s)."""
+    widths = [
+        max(len(str(h)), *(len(_fmt(r[i])) for r in rows)) if rows else len(str(h))
+        for i, h in enumerate(headers)
+    ]
+    line = "  ".join(str(h).rjust(w) for h, w in zip(headers, widths))
+    print(f"\n=== {title} ===")
+    print(line)
+    print("-" * len(line))
+    for r in rows:
+        print("  ".join(_fmt(c).rjust(w) for c, w in zip(r, widths)))
+
+
+def _fmt(x) -> str:
+    if isinstance(x, float):
+        if x == 0:
+            return "0"
+        if abs(x) >= 1000 or abs(x) < 0.01:
+            return f"{x:.3g}"
+        return f"{x:.3f}"
+    return str(x)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(20260704)

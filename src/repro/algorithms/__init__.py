@@ -1,0 +1,25 @@
+"""The CGM algorithm library (the problems of Figure 5).
+
+Every algorithm is a :class:`repro.cgm.CGMProgram` — a superstep-structured
+parallel program with Theta(N/v) local memory and O(1) or O(log v)
+communication rounds — and therefore runs unmodified on the in-memory CGM
+reference engine *and* on the external-memory simulation engines of
+:mod:`repro.core`, where its communication becomes blocked, fully parallel
+disk I/O.
+
+Group A (fundamental): :mod:`repro.algorithms.sorting`,
+:mod:`repro.algorithms.permutation`, :mod:`repro.algorithms.transpose`.
+
+Group B (geometry/GIS): :mod:`repro.algorithms.geometry`.
+
+Group C (graphs): :mod:`repro.algorithms.graphs`.
+
+Shared communication patterns (broadcast, gather, prefix sums) live in
+:mod:`repro.algorithms.collectives`.
+"""
+
+from repro.algorithms.permutation import CGMPermute
+from repro.algorithms.sorting import SampleSort
+from repro.algorithms.transpose import CGMTranspose
+
+__all__ = ["CGMPermute", "SampleSort", "CGMTranspose"]

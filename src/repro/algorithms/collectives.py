@@ -1,0 +1,187 @@
+"""Collective communication patterns as small CGM programs and helpers.
+
+CGM communication happens *between* rounds, so a collective is a pattern
+spanning rounds rather than a blocking call.  The programs here are used
+directly in tests/examples and serve as the smallest non-trivial loads for
+the engines; the helpers (:func:`partition_array`, :func:`bucket_by_dest`)
+are the partitioning idioms every Figure 5 algorithm uses inside its round
+callbacks.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.cgm.config import MachineConfig
+from repro.cgm.program import CGMProgram, Context, RoundEnv
+
+
+def partition_array(arr: np.ndarray, v: int) -> list[np.ndarray]:
+    """Split *arr* into v nearly equal contiguous slices (CGM input layout).
+
+    The first ``len(arr) % v`` processors receive one extra element, so
+    sizes differ by at most one.
+    """
+    return [np.array(chunk) for chunk in np.array_split(arr, v)]
+
+
+def slice_bounds(n: int, v: int, pid: int) -> tuple[int, int]:
+    """Global [start, end) of processor *pid*'s slice under array_split."""
+    base, extra = divmod(n, v)
+    start = pid * base + min(pid, extra)
+    return start, start + base + (1 if pid < extra else 0)
+
+
+def owner_of_index(idx: np.ndarray | int, n: int, v: int):
+    """Processor owning global index *idx* under the array_split layout."""
+    base, extra = divmod(n, v)
+    idx = np.asarray(idx)
+    cut = extra * (base + 1)
+    small = idx < cut
+    owner = np.where(
+        small,
+        idx // max(base + 1, 1),
+        extra + (idx - cut) // max(base, 1) if base else extra,
+    )
+    return owner if owner.ndim else int(owner)
+
+
+def bucket_by_dest(dests: np.ndarray, payloads: np.ndarray, v: int) -> dict[int, np.ndarray]:
+    """Group *payloads* rows by destination processor (vectorized).
+
+    Returns {dest: payload-rows} with empty destinations omitted — the
+    all-to-all idiom of every partition-based CGM algorithm.
+    """
+    order = np.argsort(dests, kind="stable")
+    sorted_dests = dests[order]
+    sorted_payloads = payloads[order]
+    out: dict[int, np.ndarray] = {}
+    boundaries = np.searchsorted(sorted_dests, np.arange(v + 1))
+    for d in range(v):
+        lo, hi = boundaries[d], boundaries[d + 1]
+        if hi > lo:
+            out[d] = sorted_payloads[lo:hi]
+    return out
+
+
+class Broadcast(CGMProgram):
+    """Root sends its value to everyone.  lambda = 1."""
+
+    name = "broadcast"
+    kappa = 1.0
+
+    def __init__(self, root: int = 0) -> None:
+        self.root = root
+
+    def setup(self, ctx: Context, pid: int, cfg: MachineConfig, local_input: Any) -> None:
+        ctx["pid"] = pid
+        ctx["value"] = local_input
+
+    def round(self, r: int, ctx: Context, env: RoundEnv) -> bool:
+        if r == 0:
+            if ctx["pid"] == self.root:
+                for dest in range(env.v):
+                    if dest != self.root:
+                        env.send(dest, ctx["value"])
+            return False
+        msgs = env.messages()
+        if msgs:
+            ctx["value"] = msgs[0].payload
+        return True
+
+    def finish(self, ctx: Context) -> Any:
+        return ctx["value"]
+
+
+class AllGather(CGMProgram):
+    """Everyone ends with the list of all processors' values.  lambda = 1."""
+
+    name = "all-gather"
+    kappa = 1.0
+
+    def setup(self, ctx: Context, pid: int, cfg: MachineConfig, local_input: Any) -> None:
+        ctx["pid"] = pid
+        ctx["value"] = local_input
+
+    def round(self, r: int, ctx: Context, env: RoundEnv) -> bool:
+        if r == 0:
+            for dest in range(env.v):
+                if dest != ctx["pid"]:
+                    env.send(dest, ctx["value"])
+            return False
+        gathered: list[Any] = [None] * env.v
+        gathered[ctx["pid"]] = ctx["value"]
+        for m in env.messages():
+            gathered[m.src] = m.payload
+        ctx["gathered"] = gathered
+        return True
+
+    def finish(self, ctx: Context) -> Any:
+        return ctx["gathered"]
+
+
+class PrefixSum(CGMProgram):
+    """Exclusive prefix sums of one scalar per processor.  lambda = 2.
+
+    Round 0 gathers local sums at processor 0; round 1 scatters each
+    processor's exclusive prefix; round 2 records it.
+    """
+
+    name = "prefix-sum"
+    kappa = 1.0
+
+    def setup(self, ctx: Context, pid: int, cfg: MachineConfig, local_input: Any) -> None:
+        ctx["pid"] = pid
+        ctx["value"] = local_input
+
+    def round(self, r: int, ctx: Context, env: RoundEnv) -> bool:
+        pid = ctx["pid"]
+        if r == 0:
+            env.send(0, float(ctx["value"]), tag="up")
+            return False
+        if r == 1:
+            if pid == 0:
+                vals = [0.0] * env.v
+                for m in env.messages(tag="up"):
+                    vals[m.src] = m.payload
+                acc = 0.0
+                for dest in range(env.v):
+                    env.send(dest, acc, tag="down")
+                    acc += vals[dest]
+            return False
+        for m in env.messages(tag="down"):
+            ctx["prefix"] = m.payload
+        return True
+
+    def finish(self, ctx: Context) -> Any:
+        return ctx["prefix"]
+
+
+class AllToAll(CGMProgram):
+    """Each processor sends a distinct payload to every other processor.
+
+    Used in tests as the canonical full h-relation; ``make_payload(pid,
+    dest)`` customizes contents.
+    """
+
+    name = "all-to-all"
+    kappa = 1.0
+
+    def __init__(self, make_payload=None) -> None:
+        self.make_payload = make_payload or (lambda pid, dest: (pid, dest))
+
+    def setup(self, ctx: Context, pid: int, cfg: MachineConfig, local_input: Any) -> None:
+        ctx["pid"] = pid
+
+    def round(self, r: int, ctx: Context, env: RoundEnv) -> bool:
+        if r == 0:
+            for dest in range(env.v):
+                env.send(dest, self.make_payload(ctx["pid"], dest))
+            return False
+        ctx["received"] = {m.src: m.payload for m in env.messages()}
+        return True
+
+    def finish(self, ctx: Context) -> Any:
+        return ctx["received"]

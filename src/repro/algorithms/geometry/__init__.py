@@ -1,0 +1,65 @@
+"""Group B of Figure 5: computational-geometry / GIS CGM algorithms.
+
+The common skeleton is the *slab partition* (:mod:`.slabs`): sample the
+x-coordinates, pick v-1 global splitters, route every object to the
+slab(s) it intersects, solve locally with an optimal sequential
+algorithm, and exchange O(v)-size summaries where slabs interact — the
+standard O(1)-round CGM recipe of the sources the paper simulates
+([13], [24], [27]).
+
+Problems (paper Figure 5, Group B):
+
+* 3D convex hull & 2D Delaunay triangulation (randomized) — :mod:`.hull`,
+  :mod:`.delaunay`
+* lower envelope of non-crossing segments — :mod:`.envelope`
+* area of the union of rectangles — :mod:`.measure`
+* 3D maxima — :mod:`.maxima`
+* 2D all-nearest-neighbours — :mod:`.neighbors`
+* 2D weighted dominance counting — :mod:`.dominance`
+* uni-/multi-directional separability — :mod:`.separability`
+* trapezoidal decomposition & batched planar point location
+  (next-element search) — :mod:`.trapezoid`
+* segment tree construction & batched stabbing — :mod:`.segtree`
+
+One-call wrappers live in :mod:`.api`.
+"""
+
+from repro.algorithms.geometry.triangulation import (
+    triangulate_monotone,
+    triangulate_polygon,
+    triangulation_is_valid,
+)
+from repro.algorithms.geometry.api import (
+    all_nearest_neighbors,
+    unidirectional_separable,
+    convex_hull_2d,
+    convex_hull_3d,
+    delaunay_2d,
+    dominance_counts,
+    lower_envelope,
+    maxima_3d,
+    point_location,
+    separability_directions,
+    stabbing_queries,
+    trapezoidal_decomposition,
+    union_area,
+)
+
+__all__ = [
+    "all_nearest_neighbors",
+    "unidirectional_separable",
+    "convex_hull_2d",
+    "convex_hull_3d",
+    "delaunay_2d",
+    "dominance_counts",
+    "lower_envelope",
+    "maxima_3d",
+    "point_location",
+    "separability_directions",
+    "stabbing_queries",
+    "trapezoidal_decomposition",
+    "triangulate_monotone",
+    "triangulate_polygon",
+    "triangulation_is_valid",
+    "union_area",
+]

@@ -1,0 +1,209 @@
+"""2D weighted dominance counting (Figure 5 Group B row 7).
+
+For every point p, compute the total weight of points q with
+q.x < p.x and q.y < p.y (strict, general position).  Exact O(1)-round
+CGM algorithm:
+
+* slab-partition by x (so "x smaller" decomposes into *within my slab*
+  and *in a slab strictly left of mine*);
+* **within slab** — a local sweep in x order with a Fenwick tree over
+  local y-ranks;
+* **cross slab, coarse** — y-space is cut into v buckets by sampled
+  splitters; every slab broadcasts its per-bucket weight histogram
+  (v^2 data in total), so each point can add up all full buckets below
+  its own bucket across all slabs to its left;
+* **cross slab, exact remainder** — points of y-bucket b are routed to
+  *bucket owner* b, which sorts them by y and accumulates, per slab,
+  the weight of same-bucket points with smaller y from slabs further
+  left — resolving the one partially-counted bucket exactly.
+
+The total is within-slab + full-bucket + same-bucket-remainder.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.geometry.slabs import SlabProgram, slab_of
+from repro.cgm.program import Context, RoundEnv
+
+
+class Fenwick:
+    """Prefix-sum tree over ranks 0..n-1 (float weights)."""
+
+    __slots__ = ("tree",)
+
+    def __init__(self, n: int) -> None:
+        self.tree = np.zeros(n + 1)
+
+    def add(self, i: int, w: float) -> None:
+        i += 1
+        while i < self.tree.size:
+            self.tree[i] += w
+            i += i & (-i)
+
+    def prefix(self, i: int) -> float:
+        """Sum of ranks < i."""
+        total = 0.0
+        while i > 0:
+            total += self.tree[i]
+            i -= i & (-i)
+        return total
+
+
+class DominanceCount(SlabProgram):
+    """Input rows: (x, y, weight, global-id).
+    Output rows per slab: (id, dominated-weight)."""
+
+    name = "dominance-count"
+
+    def phase_local(self, ctx: Context, env: RoundEnv) -> bool:
+        pts = self.gather_slab(env)
+        ctx["pts"] = pts
+        v = env.v
+        # sample y to build global y-bucket splitters (reuse round trip
+        # through processor 0)
+        ys = pts[:, 1] if pts.size else np.zeros(0)
+        n = ys.size
+        if n:
+            idx = (np.arange(v, dtype=np.int64) * n) // v
+            sample = np.sort(ys)[np.minimum(idx, n - 1)]
+        else:
+            sample = ys[:0]
+        env.send(0, sample, tag="ysample")
+        ctx["phase"] = "ysplit"
+        return False
+
+    def phase_ysplit(self, ctx: Context, env: RoundEnv) -> bool:
+        v = env.v
+        if ctx["pid"] == 0:
+            gathered = np.sort(
+                np.concatenate([m.payload for m in env.messages(tag="ysample")])
+            )
+            m = gathered.size
+            if m >= v and v > 1:
+                idx = (np.arange(1, v, dtype=np.int64) * m) // v
+                ysplit = gathered[idx]
+            else:
+                ysplit = gathered[:0]
+            for dest in range(v):
+                env.send(dest, ysplit, tag="ysplitters")
+        ctx["phase"] = "histogram"
+        return False
+
+    def phase_histogram(self, ctx: Context, env: RoundEnv) -> bool:
+        (msg,) = env.messages(tag="ysplitters")
+        ysplit = msg.payload
+        ctx["ysplit"] = ysplit
+        pts = ctx["pts"]
+        v = env.v
+        me = ctx["pid"]
+
+        # local within-slab dominance by sweep + Fenwick over local y-rank
+        local = np.zeros(pts.shape[0])
+        if pts.shape[0]:
+            y_rank = np.argsort(np.argsort(pts[:, 1], kind="stable"), kind="stable")
+            order = np.argsort(pts[:, 0], kind="stable")
+            fen = Fenwick(pts.shape[0])
+            for i in order:
+                local[i] = fen.prefix(int(y_rank[i]))
+                fen.add(int(y_rank[i]), float(pts[i, 2]))
+        ctx["local"] = local
+
+        # per-bucket weight histogram, broadcast to everyone
+        hist = np.zeros(v)
+        if pts.shape[0]:
+            buckets = slab_of(pts[:, 1], ysplit)
+            np.add.at(hist, buckets, pts[:, 2])
+            ctx["buckets"] = buckets
+        else:
+            ctx["buckets"] = np.zeros(0, dtype=np.int64)
+        for dest in range(v):
+            env.send(dest, np.concatenate(([float(me)], hist)), tag="hist")
+
+        # route points to their y-bucket owner: (bucket-owner gets
+        # (slab, y, weight, id) rows)
+        if pts.shape[0]:
+            buckets = ctx["buckets"]
+            for b in range(v):
+                sel = buckets == b
+                if sel.any():
+                    rows = np.column_stack(
+                        (
+                            np.full(sel.sum(), me, dtype=np.float64),
+                            pts[sel, 1],
+                            pts[sel, 2],
+                            pts[sel, 3],
+                        )
+                    )
+                    env.send(b, rows, tag="bucket")
+        ctx["phase"] = "bucket_owner"
+        return False
+
+    def phase_bucket_owner(self, ctx: Context, env: RoundEnv) -> bool:
+        v = env.v
+        # assemble the v x v histogram table
+        table = np.zeros((v, v))
+        for m in env.messages(tag="hist"):
+            row = m.payload
+            table[int(row[0])] = row[1:]
+        ctx["hist_table"] = table
+
+        # same-bucket remainder: I own bucket `pid`; for each point in it,
+        # sum weights of bucket points with smaller y from slabs further left
+        msgs = env.messages(tag="bucket")
+        if msgs:
+            rows = np.vstack([m.payload for m in msgs])
+            order = np.argsort(rows[:, 1], kind="stable")  # by y
+            rows = rows[order]
+            slab_weights = np.zeros(v)
+            remainder = np.zeros(rows.shape[0])
+            for k in range(rows.shape[0]):
+                s = int(rows[k, 0])
+                remainder[k] = slab_weights[:s].sum()
+                slab_weights[s] += rows[k, 2]
+            # send (id, remainder) back to the home slab
+            for s in range(v):
+                sel = rows[:, 0] == s
+                if sel.any():
+                    env.send(
+                        s,
+                        np.column_stack((rows[sel, 3], remainder[sel])),
+                        tag="remainder",
+                    )
+        ctx["phase"] = "combine"
+        return False
+
+    def phase_combine(self, ctx: Context, env: RoundEnv) -> bool:
+        pts = ctx["pts"]
+        if pts.shape[0] == 0:
+            ctx["result"] = np.zeros((0, 2))
+            return True
+        table = ctx["hist_table"]
+        buckets = ctx["buckets"]
+        me = ctx["pid"]
+        # full buckets below mine, over slabs strictly left
+        left = table[:me].sum(axis=0)          # per-bucket weight left of me
+        cum = np.concatenate(([0.0], np.cumsum(left)))
+        full = cum[buckets]                    # buckets strictly below mine
+        rem = np.zeros(pts.shape[0])
+        pos = {float(g): i for i, g in enumerate(pts[:, 3])}
+        for m in env.messages(tag="remainder"):
+            for gid, val in m.payload:
+                rem[pos[float(gid)]] = val
+        total = ctx["local"] + full + rem
+        ctx["result"] = np.column_stack((pts[:, 3], total))
+        return True
+
+    def finish(self, ctx: Context):
+        return ctx["result"]
+
+
+def dominance_reference(points: np.ndarray, weights: np.ndarray) -> np.ndarray:
+    """O(n^2) brute force for tests."""
+    n = points.shape[0]
+    out = np.zeros(n)
+    for i in range(n):
+        mask = (points[:, 0] < points[i, 0]) & (points[:, 1] < points[i, 1])
+        out[i] = weights[mask].sum()
+    return out

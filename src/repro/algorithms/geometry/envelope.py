@@ -1,0 +1,90 @@
+"""Lower envelope of non-crossing line segments (Figure 5 Group B rows 4-5).
+
+Slab-partition by x: every segment is routed to each slab its x-span
+crosses; a slab computes its local envelope over the *elementary
+intervals* between consecutive endpoint abscissae — because the segments
+are non-crossing, the vertical order of the segments is constant inside
+an elementary interval, so the envelope there is the segment with the
+minimum y at the midpoint.  The per-slab piece lists concatenate into
+the global envelope (N here counts input + output, as the paper notes).
+
+The local step evaluates all covering segments on all elementary
+midpoints as one vectorized outer product — O(k*m) local work traded for
+clarity and numpy throughput; the communication structure (one routing
+h-relation, lambda = O(1)) is what the simulation theorem consumes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.geometry.slabs import SlabProgram, interval_slabs, slab_bounds
+from repro.cgm.program import Context, RoundEnv
+
+
+def segment_y_at(segs: np.ndarray, xs: np.ndarray) -> np.ndarray:
+    """y of each segment row (x1,y1,x2,y2,...) at each x: (k, m) matrix.
+
+    Positions outside a segment's x-span are +inf.
+    """
+    x1, y1, x2, y2 = segs[:, 0:1], segs[:, 1:2], segs[:, 2:3], segs[:, 3:4]
+    t = (xs[None, :] - x1) / np.where(x2 - x1 == 0, 1e-300, x2 - x1)
+    y = y1 + t * (y2 - y1)
+    covered = (xs[None, :] >= x1) & (xs[None, :] <= x2)
+    return np.where(covered, y, np.inf)
+
+
+class LowerEnvelope(SlabProgram):
+    """Input rows: (x1, y1, x2, y2, id) with x1 <= x2.
+
+    Output per slab: (x_lo, x_hi, seg_id) pieces, seg_id = -1 where no
+    segment covers the interval; pieces are disjoint and x-sorted.
+    """
+
+    name = "lower-envelope"
+
+    def sample_keys(self, ctx: Context) -> np.ndarray:
+        rows = ctx["rows"]
+        if not rows.size:
+            return np.zeros(0)
+        return np.concatenate([rows[:, 0], rows[:, 2]])
+
+    def route_mask(self, rows, splitters, dest, v):
+        return interval_slabs(rows[:, 0], rows[:, 2], splitters, dest)
+
+    def phase_local(self, ctx: Context, env: RoundEnv) -> bool:
+        segs = self.gather_slab(env)
+        me = ctx["pid"]
+        lo, hi = slab_bounds(ctx["splitters"], me)
+        pieces: list[tuple[float, float, int]] = []
+        if segs.size:
+            xlo = max(lo, float(segs[:, 0].min()))
+            xhi = min(hi, float(segs[:, 2].max()))
+            xs = np.unique(
+                np.clip(np.concatenate([segs[:, 0], segs[:, 2], [xlo, xhi]]), xlo, xhi)
+            )
+            if xs.size >= 2:
+                mids = (xs[:-1] + xs[1:]) / 2
+                ys = segment_y_at(segs, mids)
+                winner = np.argmin(ys, axis=0)
+                covered = np.isfinite(ys[winner, np.arange(mids.size)])
+                ids = np.where(covered, segs[winner, 4].astype(np.int64), -1)
+                # merge adjacent intervals with the same winner
+                start = 0
+                for i in range(1, mids.size + 1):
+                    if i == mids.size or ids[i] != ids[start]:
+                        pieces.append((float(xs[start]), float(xs[i]), int(ids[start])))
+                        start = i
+        ctx["pieces"] = np.asarray(pieces, dtype=np.float64).reshape(-1, 3)
+        return True
+
+    def finish(self, ctx: Context):
+        return ctx["pieces"]
+
+
+def lower_envelope_reference(segs: np.ndarray, xs: np.ndarray) -> np.ndarray:
+    """Reference: winning segment id at each probe x (brute force)."""
+    ys = segment_y_at(segs, xs)
+    winner = np.argmin(ys, axis=0)
+    covered = np.isfinite(ys[winner, np.arange(xs.size)])
+    return np.where(covered, segs[winner, 4].astype(np.int64), -1)

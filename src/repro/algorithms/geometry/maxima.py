@@ -1,0 +1,68 @@
+"""3D maxima (Figure 5 Group B row 6) — O(1)-round CGM slab algorithm.
+
+A point p is *maximal* if no other point dominates it in all three
+coordinates.  Classic sequential solution: sweep by decreasing x keeping
+the (y, z) Pareto staircase.  CGM version: slab-partition by x; each slab
+computes its local staircase and ships it to every slab of smaller x
+(summaries only — a staircase is the Pareto frontier of the slab, not the
+slab's contents); each slab filters its candidates against the received
+staircases.
+
+Inputs are assumed in general position (distinct coordinates).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.geometry.slabs import SlabProgram, dominated_mask, local_maxima_sweep
+from repro.cgm.program import Context, RoundEnv
+
+
+class Maxima3D(SlabProgram):
+    """Input rows: (x, y, z, global-id).  Output: maximal rows per slab."""
+
+    name = "maxima-3d"
+
+    def phase_local(self, ctx: Context, env: RoundEnv) -> bool:
+        pts = self.gather_slab(env)
+        if pts.size and pts.shape[1] < 4:
+            raise ValueError("Maxima3D expects rows (x, y, z, id)")
+        ctx["pts"] = pts
+        if pts.size:
+            # local maxima: staircase sweep by decreasing x within the slab
+            cand = pts[local_maxima_sweep(pts)]
+            ctx["cand"] = cand
+            # staircase summary of the WHOLE slab = its local maxima's (y,z)
+            my_slab = ctx["pid"]
+            for dest in range(env.v):
+                if dest < my_slab and cand.size:
+                    env.send(dest, cand[:, 1:3], tag="stair")
+        else:
+            ctx["cand"] = pts.reshape(0, 4)
+        ctx["phase"] = "filter"
+        return False
+
+    def phase_filter(self, ctx: Context, env: RoundEnv) -> bool:
+        cand = ctx["cand"]
+        stairs = [m.payload for m in env.messages(tag="stair")]
+        if cand.size and stairs:
+            refs = np.vstack(stairs)
+            dom = dominated_mask(cand[:, 1], cand[:, 2], refs[:, 0], refs[:, 1])
+            cand = cand[~dom]
+        ctx["maxima"] = cand
+        return True
+
+    def finish(self, ctx: Context):
+        return ctx["maxima"]
+
+
+def maxima_3d_reference(points: np.ndarray) -> np.ndarray:
+    """Brute-force O(n^2) reference used by tests."""
+    n = points.shape[0]
+    keep = np.ones(n, dtype=bool)
+    for i in range(n):
+        dom = (points >= points[i]).all(axis=1) & (points > points[i]).any(axis=1)
+        if dom.any():
+            keep[i] = False
+    return np.nonzero(keep)[0]

@@ -1,0 +1,90 @@
+"""Area of the union of axis-parallel rectangles (Figure 5 Group B row 6).
+
+Slab-partition by x: rectangles are clipped to each slab they cross,
+each slab runs the textbook measure sweep (x events + coverage counts
+over compressed y intervals) on its clipped pieces, and the slab areas
+sum to the global union area — correct because slabs tile the x-axis
+disjointly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.geometry.slabs import SlabProgram, interval_slabs, slab_bounds
+from repro.cgm.program import Context, RoundEnv
+
+
+def union_area_sweep(rects: np.ndarray) -> float:
+    """Union area of rows (x1, y1, x2, y2) by plane sweep."""
+    if rects.shape[0] == 0:
+        return 0.0
+    ys = np.unique(np.concatenate([rects[:, 1], rects[:, 3]]))
+    if ys.size < 2:
+        return 0.0
+    seg_len = np.diff(ys)
+    counts = np.zeros(ys.size - 1, dtype=np.int64)
+    events = []
+    for x1, y1, x2, y2 in rects[:, :4]:
+        if x2 <= x1 or y2 <= y1:
+            continue
+        a = np.searchsorted(ys, y1)
+        b = np.searchsorted(ys, y2)
+        events.append((x1, 1, a, b))
+        events.append((x2, -1, a, b))
+    if not events:
+        return 0.0
+    events.sort(key=lambda e: (e[0], -e[1]))
+    area = 0.0
+    prev_x = events[0][0]
+    for x, delta, a, b in events:
+        if x > prev_x:
+            area += float(seg_len[counts > 0].sum()) * (x - prev_x)
+            prev_x = x
+        counts[a:b] += delta
+    return area
+
+
+class UnionArea(SlabProgram):
+    """Input rows: (x1, y1, x2, y2, id).  Output: total area (everywhere)."""
+
+    name = "union-area"
+
+    def sample_keys(self, ctx: Context) -> np.ndarray:
+        rows = ctx["rows"]
+        if not rows.size:
+            return np.zeros(0)
+        return np.concatenate([rows[:, 0], rows[:, 2]])
+
+    def route_mask(self, rows, splitters, dest, v):
+        return interval_slabs(rows[:, 0], rows[:, 2], splitters, dest)
+
+    def phase_local(self, ctx: Context, env: RoundEnv) -> bool:
+        rects = self.gather_slab(env)
+        lo, hi = slab_bounds(ctx["splitters"], ctx["pid"])
+        if rects.size:
+            clipped = rects.copy()
+            clipped[:, 0] = np.maximum(clipped[:, 0], lo)
+            clipped[:, 2] = np.minimum(clipped[:, 2], hi)
+            area = union_area_sweep(clipped)
+        else:
+            area = 0.0
+        env.send(0, float(area), tag="area")
+        ctx["phase"] = "reduce"
+        return False
+
+    def phase_reduce(self, ctx: Context, env: RoundEnv) -> bool:
+        if ctx["pid"] == 0:
+            total = sum(float(m.payload) for m in env.messages(tag="area"))
+            for dest in range(env.v):
+                env.send(dest, total, tag="total")
+        ctx["phase"] = "recv"
+        return False
+
+    def phase_recv(self, ctx: Context, env: RoundEnv) -> bool:
+        (msg,) = env.messages(tag="total")
+        ctx["area"] = float(msg.payload)
+        return True
+
+    def finish(self, ctx: Context):
+        return ctx["area"]

@@ -1,0 +1,102 @@
+"""2D all-nearest-neighbours (Figure 5 Group B row 6).
+
+Slab-partition by x, then the exact two-phase refinement:
+
+1. each slab builds a k-d tree over its points and computes every local
+   point's nearest neighbour *within the slab* — an upper bound d_p on
+   the true NN distance;
+2. every point whose disk of radius d_p pokes outside its slab is sent to
+   each slab that disk intersects; those slabs answer with their best
+   candidate, and the home slab takes the minimum.
+
+Exactness: the true nearest neighbour of p lies within d_p of p, so it
+lives in a slab whose x-range intersects [x_p - d_p, x_p + d_p] — all of
+which are queried.  Communication volume is output-sensitive (tiny for
+well-spread inputs, which is the CGM assumption N/v >> v).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.spatial import cKDTree
+
+from repro.algorithms.geometry.slabs import SlabProgram, slab_bounds
+from repro.cgm.program import Context, RoundEnv
+
+
+class AllNearestNeighbors(SlabProgram):
+    """Input rows: (x, y, global-id).  Output rows: (id, nn-id, distance)."""
+
+    name = "all-nearest-neighbors"
+
+    def phase_local(self, ctx: Context, env: RoundEnv) -> bool:
+        pts = self.gather_slab(env)
+        ctx["pts"] = pts
+        v = env.v
+        splitters = ctx["splitters"]
+        if pts.shape[0] >= 2:
+            tree = cKDTree(pts[:, :2])
+            dist, idx = tree.query(pts[:, :2], k=2)
+            d = dist[:, 1]
+            nn = pts[idx[:, 1], 2]
+        elif pts.shape[0] == 1:
+            d = np.array([np.inf])
+            nn = np.array([-1.0])
+        else:
+            d = np.zeros(0)
+            nn = np.zeros(0)
+        ctx["best_d"] = d
+        ctx["best_nn"] = nn
+        # send boundary-crossing queries: (home-slab, id, x, y, d)
+        if pts.size:
+            me = ctx["pid"]
+            for dest in range(v):
+                if dest == me:
+                    continue
+                lo, hi = slab_bounds(splitters, dest)
+                sel = (pts[:, 0] + d >= lo) & (pts[:, 0] - d <= hi)
+                if sel.any():
+                    rows = np.column_stack(
+                        (
+                            np.full(sel.sum(), me, dtype=np.float64),
+                            pts[sel, 2],
+                            pts[sel, 0],
+                            pts[sel, 1],
+                            d[sel],
+                        )
+                    )
+                    env.send(dest, rows, tag="query")
+        ctx["phase"] = "answer"
+        return False
+
+    def phase_answer(self, ctx: Context, env: RoundEnv) -> bool:
+        pts = ctx["pts"]
+        tree = cKDTree(pts[:, :2]) if pts.shape[0] else None
+        for m in env.messages(tag="query"):
+            rows = m.payload
+            if tree is None:
+                continue
+            dist, idx = tree.query(rows[:, 2:4], k=1)
+            reply = np.column_stack((rows[:, 1], pts[idx, 2], dist))
+            env.send(int(rows[0, 0]), reply, tag="reply")
+        ctx["phase"] = "combine"
+        return False
+
+    def phase_combine(self, ctx: Context, env: RoundEnv) -> bool:
+        pts = ctx["pts"]
+        best_d, best_nn = ctx["best_d"], ctx["best_nn"]
+        if pts.size:
+            pos = {float(g): i for i, g in enumerate(pts[:, 2])}
+            for m in env.messages(tag="reply"):
+                for gid, cand_nn, cand_d in m.payload:
+                    i = pos[float(gid)]
+                    if cand_d < best_d[i] and cand_nn != pts[i, 2]:
+                        best_d[i] = cand_d
+                        best_nn[i] = cand_nn
+            ctx["result"] = np.column_stack((pts[:, 2], best_nn, best_d))
+        else:
+            ctx["result"] = np.zeros((0, 3))
+        return True
+
+    def finish(self, ctx: Context):
+        return ctx["result"]

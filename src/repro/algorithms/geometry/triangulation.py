@@ -1,0 +1,199 @@
+"""Polygon triangulation (Figure 5 Group B row 1 — local routines).
+
+The CGM polygon-triangulation pipeline of the paper's source [13] is
+trapezoidal decomposition -> monotone pieces -> per-piece triangulation;
+the decomposition is :mod:`repro.algorithms.geometry.trapezoid` and this
+module supplies the sequential building blocks a slab runs locally:
+
+* :func:`triangulate_monotone` — the classic O(n) stack algorithm for
+  y-monotone polygons;
+* :func:`triangulate_polygon` — ear clipping for arbitrary simple
+  polygons (the robust general-purpose local routine);
+* :func:`polygon_area` / :func:`is_ccw` — orientation helpers.
+
+(The fully distributed simple-polygon triangulator is out of scope — see
+EXPERIMENTS.md "Deviations"; point-set triangulation is covered exactly
+by :mod:`repro.algorithms.geometry.delaunay`.)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.validation import ConfigurationError, require
+
+
+def polygon_area(pts: np.ndarray) -> float:
+    """Signed area (positive for counter-clockwise orientation)."""
+    x, y = pts[:, 0], pts[:, 1]
+    return 0.5 * float(np.dot(x, np.roll(y, -1)) - np.dot(y, np.roll(x, -1)))
+
+
+def is_ccw(pts: np.ndarray) -> bool:
+    return polygon_area(pts) > 0
+
+
+def _cross(o, a, b) -> float:
+    return (a[0] - o[0]) * (b[1] - o[1]) - (a[1] - o[1]) * (b[0] - o[0])
+
+
+def _point_in_triangle(p, a, b, c) -> bool:
+    d1 = _cross(p, a, b)
+    d2 = _cross(p, b, c)
+    d3 = _cross(p, c, a)
+    has_neg = (d1 < 0) or (d2 < 0) or (d3 < 0)
+    has_pos = (d1 > 0) or (d2 > 0) or (d3 > 0)
+    return not (has_neg and has_pos)
+
+
+def triangulate_polygon(pts: np.ndarray) -> np.ndarray:
+    """Ear-clipping triangulation of a simple polygon (no holes).
+
+    Returns (n-2, 3) vertex-index triples.  Accepts either orientation;
+    raises for degenerate inputs where no ear can be clipped (self-
+    intersecting or repeated vertices).
+    """
+    pts = np.asarray(pts, dtype=np.float64).reshape(-1, 2)
+    n = pts.shape[0]
+    require(n >= 3, f"polygon needs >= 3 vertices, got {n}")
+    idx = list(range(n))
+    if not is_ccw(pts):
+        idx.reverse()
+
+    triangles: list[tuple[int, int, int]] = []
+    guard = 0
+    while len(idx) > 3:
+        guard += 1
+        if guard > 2 * n * n:
+            raise ConfigurationError(
+                "ear clipping failed to converge — polygon is probably not simple"
+            )
+        m = len(idx)
+        clipped = False
+        for k in range(m):
+            i_prev, i_cur, i_next = idx[k - 1], idx[k], idx[(k + 1) % m]
+            a, b, c = pts[i_prev], pts[i_cur], pts[i_next]
+            if _cross(a, b, c) <= 0:
+                continue  # reflex vertex — not an ear
+            # no other polygon vertex may lie inside the candidate ear
+            ear = True
+            for j in idx:
+                if j in (i_prev, i_cur, i_next):
+                    continue
+                if _point_in_triangle(pts[j], a, b, c):
+                    ear = False
+                    break
+            if ear:
+                triangles.append((i_prev, i_cur, i_next))
+                idx.pop(k)
+                clipped = True
+                break
+        if not clipped:
+            raise ConfigurationError(
+                "no ear found — polygon is not simple (or fully degenerate)"
+            )
+    triangles.append((idx[0], idx[1], idx[2]))
+    return np.asarray(triangles, dtype=np.int64)
+
+
+def triangulate_monotone(pts: np.ndarray) -> np.ndarray:
+    """O(n) triangulation of a y-monotone simple polygon.
+
+    *pts* are the polygon vertices in boundary order (either
+    orientation); the polygon must be monotone with respect to y (every
+    horizontal line meets the boundary in at most two points).  The
+    classic two-chain stack algorithm.
+    """
+    pts = np.asarray(pts, dtype=np.float64).reshape(-1, 2)
+    n = pts.shape[0]
+    require(n >= 3, f"polygon needs >= 3 vertices, got {n}")
+    order = list(range(n))
+    if not is_ccw(pts):
+        order.reverse()
+
+    # CCW boundary order in `seq`
+    seq = [order[k] for k in range(n)]
+    top = max(seq, key=lambda i: (pts[i, 1], pts[i, 0]))
+    bottom = min(seq, key=lambda i: (pts[i, 1], pts[i, 0]))
+
+    # with CCW orientation, walking forward from top to bottom follows
+    # the LEFT chain; interior vertices of the other walk are the right
+    pos = {u: k for k, u in enumerate(seq)}
+    left_chain: set[int] = set()
+    k = pos[top]
+    while seq[k] != bottom:
+        left_chain.add(seq[k])
+        k = (k + 1) % n
+    left_chain.add(bottom)
+
+    merged = sorted(range(n), key=lambda i: (-pts[i, 1], pts[i, 0]))
+
+    def same_chain(a: int, b: int) -> bool:
+        return (a in left_chain) == (b in left_chain)
+
+    triangles: list[tuple[int, int, int]] = []
+    stack = [merged[0], merged[1]]
+    for v in merged[2:-1]:
+        if not same_chain(v, stack[-1]):
+            prev_top = stack[-1]
+            while len(stack) >= 2:
+                a = stack.pop()
+                triangles.append((v, a, stack[-1]))
+            stack = [prev_top, v]
+        else:
+            last = stack.pop()
+            while stack and _diagonal_inside(pts, v, stack[-1], last, v in left_chain):
+                triangles.append((v, last, stack[-1]))
+                last = stack.pop()
+            stack.append(last)
+            stack.append(v)
+    u = merged[-1]
+    last = stack.pop()
+    while stack:
+        triangles.append((u, last, stack[-1]))
+        last = stack.pop()
+    return np.asarray(triangles, dtype=np.int64)
+
+
+def _diagonal_inside(pts, v, candidate, last, on_left: bool) -> bool:
+    """May the funnel pop `last`, i.e. is diagonal v—candidate inside?
+
+    Inside iff the funnel vertex `last` is convex.  With CCW boundary
+    orientation the left chain runs top-to-bottom (so the stack triple
+    candidate->last->v follows the boundary: convex = left turn =
+    cross(candidate, last, v) > 0, which equals -cross(v, last,
+    candidate)); the right chain runs bottom-to-top, reversing the sign.
+    """
+    cr = _cross(pts[v], pts[last], pts[candidate])
+    return cr < 0 if on_left else cr > 0
+
+
+def triangulation_is_valid(pts: np.ndarray, triangles: np.ndarray) -> bool:
+    """Validity certificate for a triangulation of a simple polygon.
+
+    Checks: exactly n-2 non-degenerate triangles; areas summing to the
+    polygon area; every boundary edge used exactly once and every
+    internal edge shared by exactly two triangles (which together rule
+    out folds and duplicates).
+    """
+    pts = np.asarray(pts, dtype=np.float64)
+    n = pts.shape[0]
+    if triangles.shape[0] != n - 2:
+        return False
+    total = 0.0
+    edge_count: dict[tuple[int, int], int] = {}
+    for a, b, c in triangles:
+        area = abs(_cross(pts[a], pts[b], pts[c])) / 2
+        if area <= 0:
+            return False
+        total += area
+        for e in ((a, b), (b, c), (c, a)):
+            key = (min(e), max(e))
+            edge_count[key] = edge_count.get(key, 0) + 1
+    if not np.isclose(total, abs(polygon_area(pts)), rtol=1e-9):
+        return False
+    boundary = {(min(i, (i + 1) % n), max(i, (i + 1) % n)) for i in range(n)}
+    for e, cnt in edge_count.items():
+        if (e in boundary and cnt != 1) or (e not in boundary and cnt != 2):
+            return False
+    return all(edge_count.get(e, 0) == 1 for e in boundary)

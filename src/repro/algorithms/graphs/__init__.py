@@ -1,0 +1,52 @@
+"""Group C of Figure 5: CGM graph algorithms.
+
+All are built from two primitives, exactly as the PRAM/CGM literature the
+paper simulates:
+
+* **list ranking** (:mod:`repro.algorithms.graphs.list_ranking`) —
+  independent-set contraction in O(log v) expected rounds;
+* **Euler tour** (:mod:`repro.algorithms.graphs.euler_tour`) — tree
+  linearization, which with weighted list ranking yields depths, preorder
+  numbers and subtree sizes.
+
+On top of those: connected components / spanning forest
+(:mod:`repro.algorithms.graphs.connectivity`), batched LCA via distributed
+range-minimum (:mod:`repro.algorithms.graphs.lca`), tree contraction /
+expression-tree evaluation (:mod:`repro.algorithms.graphs.tree_contraction`),
+and open-ear decomposition / biconnected components
+(:mod:`repro.algorithms.graphs.biconnectivity`).
+
+High-level one-call wrappers live in :mod:`repro.algorithms.graphs.api`.
+"""
+
+from repro.algorithms.graphs.api import (
+    connected_components,
+    euler_tour_positions,
+    expression_eval,
+    list_rank,
+    lowest_common_ancestors,
+    range_min_queries,
+    scatter_reduce,
+    spanning_forest,
+    tree_measures,
+)
+from repro.algorithms.graphs.biconnectivity import (
+    biconnected_components,
+    ear_decomposition,
+    low_high,
+)
+
+__all__ = [
+    "biconnected_components",
+    "connected_components",
+    "ear_decomposition",
+    "euler_tour_positions",
+    "expression_eval",
+    "list_rank",
+    "low_high",
+    "lowest_common_ancestors",
+    "range_min_queries",
+    "scatter_reduce",
+    "spanning_forest",
+    "tree_measures",
+]

@@ -1,0 +1,341 @@
+"""One-call wrappers composing the Group C building blocks.
+
+Each wrapper partitions its input across the ``v`` virtual processors,
+runs one or more CGM programs through the selected engine, and assembles
+the distributed outputs.  The :class:`GraphResult` carries the combined
+cost reports so benchmarks can sum parallel I/Os across pipeline stages —
+chained CGM algorithms are themselves CGM algorithms, so the stages'
+lambdas (and hence I/O counts) add.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.algorithms.collectives import partition_array
+from repro.algorithms.graphs.euler_tour import EulerTourBuild
+from repro.algorithms.graphs.list_ranking import ListRanking
+from repro.cgm.config import MachineConfig
+from repro.cgm.metrics import CostReport
+from repro.em.runner import em_run
+from repro.util.validation import ConfigurationError, require
+
+
+@dataclass
+class GraphResult:
+    """Assembled output of a (possibly multi-stage) graph computation."""
+
+    values: Any
+    reports: list[CostReport] = field(default_factory=list)
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def total_parallel_ios(self) -> int:
+        return sum(r.io.parallel_ios for r in self.reports)
+
+    @property
+    def total_rounds(self) -> int:
+        return sum(r.rounds for r in self.reports)
+
+
+def _adapt_cfg(cfg: MachineConfig, N: int) -> MachineConfig:
+    """Re-target a machine config at a stage's id-space size.
+
+    N may be smaller than v (tiny stages simply leave some virtual
+    processors with empty slices).
+    """
+    return cfg.with_(N=max(N, 1), M=None)
+
+
+def list_rank(
+    succ: np.ndarray,
+    cfg: MachineConfig,
+    weights: np.ndarray | None = None,
+    engine: str | None = None,
+) -> GraphResult:
+    """Weighted list ranking: rank[i] = sum of weights from i to the tail.
+
+    *succ* is the full successor array (-1 terminates); unit weights (with
+    a zero-weight tail) give the distance-to-tail.
+    """
+    succ = np.asarray(succ, dtype=np.int64)
+    n = succ.size
+    if weights is None:
+        weights = (succ >= 0).astype(np.float64)
+    weights = np.asarray(weights, dtype=np.float64)
+    require(weights.size == n, "weights must match succ", ConfigurationError)
+    stage_cfg = _adapt_cfg(cfg, n)
+    inputs = list(zip(partition_array(succ, cfg.v), partition_array(weights, cfg.v)))
+    res = em_run(ListRanking(), inputs, stage_cfg, engine)
+    return GraphResult(np.concatenate(res.outputs), [res.report])
+
+
+def euler_tour_positions(
+    edges: np.ndarray,
+    n_vertices: int,
+    cfg: MachineConfig,
+    root: int = 0,
+    engine: str | None = None,
+) -> GraphResult:
+    """Euler tour of a tree: position of each directed edge in the tour.
+
+    *edges* is an (E, 2) array of undirected tree edges; directed edge
+    ``2e`` is edges[e] traversed u->v and ``2e+1`` the reverse.  Returns
+    positions in [0, 2E), starting at the root.
+    """
+    edges = np.asarray(edges, dtype=np.int64).reshape(-1, 2)
+    E = edges.shape[0]
+    require(E >= 1, "need at least one edge", ConfigurationError)
+    n_dir = 2 * E
+    rows = np.column_stack((np.arange(E), edges))
+    stage_cfg = _adapt_cfg(cfg, n_dir)
+
+    build = em_run(
+        EulerTourBuild(n_vertices, root),
+        partition_array(rows, cfg.v),
+        stage_cfg,
+        engine,
+    )
+    succ = np.concatenate(build.outputs)
+
+    rank = list_rank(succ, cfg, engine=engine)
+    positions = (n_dir - 1) - rank.values.astype(np.int64)
+    return GraphResult(
+        positions,
+        [build.report, *rank.reports],
+        extra={"succ": succ},
+    )
+
+
+def tree_measures(
+    edges: np.ndarray,
+    n_vertices: int,
+    cfg: MachineConfig,
+    root: int = 0,
+    engine: str | None = None,
+) -> GraphResult:
+    """Depth, preorder number, subtree size and parent of every vertex.
+
+    Three list-ranking passes over the Euler tour (positions, depth
+    prefix-sums, preorder prefix-sums) — the standard reduction, each pass
+    an O(log v)-round CGM computation.
+    """
+    edges = np.asarray(edges, dtype=np.int64).reshape(-1, 2)
+    E = edges.shape[0]
+    tour = euler_tour_positions(edges, n_vertices, cfg, root, engine)
+    pos = tour.values
+    succ = tour.extra["succ"]
+    n_dir = 2 * E
+
+    # down edge: traversed parent -> child, i.e. before its reversal
+    down = pos < pos[np.arange(n_dir) ^ 1]
+
+    # depth prefix sums: +1 on down edges, -1 on up edges
+    depth_w = np.where(down, 1.0, -1.0)
+    depth_rank = list_rank(succ, cfg, weights=depth_w, engine=engine)
+    # inclusive prefix at edge i = total - rank(i) + w(i); total = 0
+    depth_prefix = -depth_rank.values + depth_w
+
+    # preorder prefix sums: count down edges
+    pre_w = down.astype(np.float64)
+    pre_rank = list_rank(succ, cfg, weights=pre_w, engine=engine)
+    pre_prefix = E - pre_rank.values + pre_w
+
+    heads = np.empty(n_dir, dtype=np.int64)  # head vertex of each directed edge
+    heads[0::2] = edges[:, 1]
+    heads[1::2] = edges[:, 0]
+    tails = np.empty(n_dir, dtype=np.int64)
+    tails[0::2] = edges[:, 0]
+    tails[1::2] = edges[:, 1]
+
+    depth = np.zeros(n_vertices, dtype=np.int64)
+    preorder = np.zeros(n_vertices, dtype=np.int64)
+    size = np.zeros(n_vertices, dtype=np.int64)
+    parent = np.full(n_vertices, -1, dtype=np.int64)
+
+    d_idx = np.nonzero(down)[0]
+    child = heads[d_idx]
+    depth[child] = depth_prefix[d_idx].astype(np.int64)
+    preorder[child] = pre_prefix[d_idx].astype(np.int64)
+    parent[child] = tails[d_idx]
+    # subtree size from the tour span between the down edge and its reversal
+    size[child] = (pos[d_idx ^ 1] - pos[d_idx] + 1) // 2
+    size[root] = n_vertices
+    preorder[root] = 0
+    depth[root] = 0
+
+    return GraphResult(
+        {
+            "depth": depth,
+            "preorder": preorder,
+            "size": size,
+            "parent": parent,
+            "positions": pos,
+            "down": down,
+        },
+        tour.reports + depth_rank.reports + pre_rank.reports,
+    )
+
+
+def connected_components(
+    edges: np.ndarray,
+    n_vertices: int,
+    cfg: MachineConfig,
+    engine: str | None = None,
+) -> GraphResult:
+    """Component id (= minimum vertex id of the component) per vertex.
+
+    *edges* is an (E, 2) array of undirected edges; isolated vertices get
+    their own id.  ``extra["forest"]`` holds the spanning-forest edge
+    indices.
+    """
+    from repro.algorithms.graphs.connectivity import ConnectedComponents
+
+    edges = np.asarray(edges, dtype=np.int64).reshape(-1, 2)
+    E = edges.shape[0]
+    rows = np.column_stack((np.arange(E), edges))
+    stage_cfg = _adapt_cfg(cfg, n_vertices)
+    res = em_run(
+        ConnectedComponents(n_vertices),
+        partition_array(rows, cfg.v),
+        stage_cfg,
+        engine,
+    )
+    comp = np.concatenate([out[0] for out in res.outputs])
+    forest = sorted(eid for out in res.outputs for eid in out[1])
+    return GraphResult(comp, [res.report], extra={"forest": forest})
+
+
+def spanning_forest(
+    edges: np.ndarray,
+    n_vertices: int,
+    cfg: MachineConfig,
+    engine: str | None = None,
+) -> GraphResult:
+    """Indices into *edges* forming a spanning forest (one tree per
+    component)."""
+    res = connected_components(edges, n_vertices, cfg, engine)
+    return GraphResult(res.extra["forest"], res.reports, extra={"comp": res.values})
+
+
+def scatter_reduce(
+    rows: np.ndarray,
+    n_keys: int,
+    cfg: MachineConfig,
+    op: str = "min",
+    engine: str | None = None,
+) -> GraphResult:
+    """Fold int64 (key, value) pairs per key (min/max/sum); one round."""
+    from repro.algorithms.graphs.scatter import ScatterReduce
+
+    rows = np.asarray(rows, dtype=np.int64).reshape(-1, 2)
+    stage_cfg = _adapt_cfg(cfg, n_keys)
+    res = em_run(ScatterReduce(op), partition_array(rows, cfg.v), stage_cfg, engine)
+    return GraphResult(np.concatenate(res.outputs)[:n_keys], [res.report])
+
+
+def range_min_queries(
+    values: np.ndarray,
+    queries: np.ndarray,
+    cfg: MachineConfig,
+    payload: np.ndarray | None = None,
+    engine: str | None = None,
+) -> GraphResult:
+    """Batched RMQ: queries (qid, l, r) -> (qid, min value, payload@argmin)."""
+    from repro.algorithms.graphs.rmq import RangeMin
+
+    values = np.asarray(values, dtype=np.int64)
+    queries = np.asarray(queries, dtype=np.int64).reshape(-1, 3)
+    if payload is None:
+        payload = np.zeros_like(values)
+    stage_cfg = _adapt_cfg(cfg, values.size)
+    inputs = list(
+        zip(
+            partition_array(values, cfg.v),
+            partition_array(payload, cfg.v),
+            partition_array(queries, cfg.v),
+        )
+    )
+    res = em_run(RangeMin(), inputs, stage_cfg, engine)
+    rows = np.vstack([o for o in res.outputs if o.size]) if queries.size else np.zeros((0, 3), np.int64)
+    order = np.argsort(rows[:, 0], kind="stable") if rows.size else slice(None)
+    return GraphResult(rows[order] if rows.size else rows, [res.report])
+
+
+def lowest_common_ancestors(
+    edges: np.ndarray,
+    queries: np.ndarray,
+    n_vertices: int,
+    cfg: MachineConfig,
+    root: int = 0,
+    engine: str | None = None,
+) -> GraphResult:
+    """Batched LCA on a tree: queries (u, w) -> lca vertex.
+
+    The standard reduction: Euler tour -> depth sequence -> range-minimum
+    between first occurrences.  Both stages are O(1)/O(log v)-round CGM
+    computations.
+    """
+    edges = np.asarray(edges, dtype=np.int64).reshape(-1, 2)
+    queries = np.asarray(queries, dtype=np.int64).reshape(-1, 2)
+    E = edges.shape[0]
+    tm = tree_measures(edges, n_vertices, cfg, root, engine)
+    vals = tm.values
+    pos, down = vals["positions"], vals["down"]
+    depth = vals["depth"]
+
+    n_dir = 2 * E
+    heads = np.empty(n_dir, dtype=np.int64)
+    heads[0::2] = edges[:, 1]
+    heads[1::2] = edges[:, 0]
+
+    # Euler vertex sequence with the root prepended at position 0
+    seq = np.empty(n_dir + 1, dtype=np.int64)
+    seq[0] = root
+    order_at = np.empty(n_dir, dtype=np.int64)
+    order_at[pos] = np.arange(n_dir)
+    seq[1:] = heads[order_at]
+    depth_seq = depth[seq]
+
+    first = np.zeros(n_vertices, dtype=np.int64)
+    d_idx = np.nonzero(down)[0]
+    first[heads[d_idx]] = pos[d_idx] + 1
+    first[root] = 0
+
+    l = np.minimum(first[queries[:, 0]], first[queries[:, 1]])
+    r = np.maximum(first[queries[:, 0]], first[queries[:, 1]])
+    qrows = np.column_stack((np.arange(queries.shape[0]), l, r))
+
+    rmq = range_min_queries(depth_seq, qrows, cfg, payload=seq, engine=engine)
+    lca = rmq.values[:, 2]
+    return GraphResult(lca, tm.reports + rmq.reports, extra={"measures": vals})
+
+
+def expression_eval(
+    parent: np.ndarray,
+    op: np.ndarray,
+    leaf_value: np.ndarray,
+    cfg: MachineConfig,
+    engine: str | None = None,
+) -> GraphResult:
+    """Evaluate a (+, *) expression tree by CGM rake-and-compress.
+
+    ``parent[i] = -1`` marks the root; ``op`` uses OP_ADD / OP_MUL from
+    :mod:`repro.algorithms.graphs.tree_contraction`; ``leaf_value`` is
+    read at the leaves.
+    """
+    from repro.algorithms.collectives import slice_bounds
+    from repro.algorithms.graphs.tree_contraction import ExpressionEval
+
+    parent = np.asarray(parent, dtype=np.int64)
+    n = parent.size
+    stage_cfg = _adapt_cfg(cfg, n)
+    inputs = []
+    for pid in range(cfg.v):
+        lo, hi = slice_bounds(n, cfg.v, pid)
+        inputs.append((parent[lo:hi], np.asarray(op)[lo:hi], np.asarray(leaf_value)[lo:hi]))
+    res = em_run(ExpressionEval(), inputs, stage_cfg, engine)
+    return GraphResult(res.outputs[0], [res.report])

@@ -1,0 +1,33 @@
+"""BSP and BSP* cost models and the Section 5 conversions.
+
+The paper's Corollary 1 applies to *any* algorithm whose communication is
+analysed through h-relations.  This package provides the BSP-family cost
+models (appendix 6.1/6.3) and the three conversion results of Section 5:
+
+1. conforming BSP -> BSP* with b = h_min/v - (v-1)/2,
+2. conforming BSP -> EM-BSP (c-optimality preserved),
+3. conforming BSP* -> EM-BSP* (c-optimality preserved).
+"""
+
+from repro.bsp.conversion import (
+    blockwise_io_efficient,
+    bsp_star_message_floor,
+    c_optimality_preserved,
+    to_bsp_star,
+    to_em_bsp,
+    to_em_bsp_star,
+)
+from repro.bsp.model import BSPCost, BSPStarCost, EMBSPCost, Superstep
+
+__all__ = [
+    "BSPCost",
+    "BSPStarCost",
+    "EMBSPCost",
+    "Superstep",
+    "blockwise_io_efficient",
+    "bsp_star_message_floor",
+    "c_optimality_preserved",
+    "to_bsp_star",
+    "to_em_bsp",
+    "to_em_bsp_star",
+]

@@ -1,0 +1,156 @@
+"""Section 5's conversion results, as cost-profile transformations.
+
+The conversions rest on Corollary 1: any h-relation can be replaced by two
+*balanced* h-relations with message sizes in
+``[h/v - (v-1)/2, h/v + (v-1)/2]``.  "Conforming" means the algorithm's
+analysis bounds every communication superstep by an h-relation — exactly
+the :class:`repro.bsp.model.BSPCost` summary.
+
+The executable counterpart (real payload chunking, not just cost
+arithmetic) is :mod:`repro.core.balanced`, which the engines use; these
+functions are the analytic statements the benchmarks check the engines
+against.
+"""
+
+from __future__ import annotations
+
+from repro.bsp.model import BSPCost, BSPStarCost, EMBSPCost, Superstep
+from repro.util.validation import ConstraintViolation, require
+
+
+def bsp_star_message_floor(h_min: int, v: int) -> int:
+    """Section 5 item (1): the block size achieved by balancing,
+    b = h_min/v - (v-1)/2."""
+    return max(1, h_min // v - (v - 1) // 2)
+
+
+def to_bsp_star(cost: BSPCost, b: int | None = None) -> BSPStarCost:
+    """Convert a conforming BSP profile to BSP* by balanced routing.
+
+    Every superstep becomes two balanced supersteps whose v messages per
+    processor have sizes within (v-1)/2 of h/v; the minimum message size
+    becomes the BSP* block size b.
+    """
+    v = cost.v
+    floor = bsp_star_message_floor(cost.h_min, v)
+    if b is None:
+        b = floor
+    require(
+        b <= floor,
+        f"requested block size b={b} exceeds the achievable floor {floor} "
+        f"(h_min={cost.h_min}, v={v})",
+        ConstraintViolation,
+    )
+    out: list[Superstep] = []
+    for s in cost.supersteps:
+        # two balanced rounds; computation is charged to the first, the
+        # rebinning overhead O(h) is absorbed into w_comp of the second.
+        per_msg_hi = s.h // v + (v - 1) // 2 + 1
+        balanced = Superstep(
+            w_comp=s.w_comp,
+            h=s.h + v * ((v - 1) // 2 + 1),  # Theorem 1's additive slack
+            min_message=max(1, s.h // v - (v - 1) // 2),
+            messages_per_proc=v,
+        )
+        relay = Superstep(
+            w_comp=float(s.h),  # linear-time rebinning
+            h=balanced.h,
+            min_message=balanced.min_message,
+            messages_per_proc=v,
+        )
+        out.extend([balanced, relay])
+        del per_msg_hi
+    return BSPStarCost(v=v, b=b, supersteps=tuple(out))
+
+
+def to_em_bsp(
+    cost: BSPCost,
+    p: int,
+    D: int,
+    B: int,
+    mu_items: int,
+) -> EMBSPCost:
+    """Convert a conforming BSP profile to an EM-BSP profile (item 2).
+
+    Each original superstep is simulated by v/p real compound supersteps;
+    per simulated virtual processor the engine moves its context
+    (2*ceil(mu/B) blocks) and its message traffic (2*ceil(h/B) blocks),
+    all D-parallel — the same accounting Theorem 3 charges.
+    """
+    v = cost.v
+    require(p >= 1 and v % p == 0, f"p={p} must divide v={v}")
+    supersteps: list[Superstep] = []
+    io_ops: list[int] = []
+    vpr = v // p
+    for s in cost.supersteps:
+        ctx_blocks = 2 * -(-mu_items // B)
+        msg_blocks = 2 * -(-s.h // B)
+        per_vproc = -(-ctx_blocks // D) + -(-msg_blocks // D)
+        for _ in range(vpr):
+            supersteps.append(
+                Superstep(
+                    w_comp=s.w_comp / vpr + mu_items,  # swap overhead O(mu)
+                    h=s.h,
+                    min_message=s.min_message,
+                    messages_per_proc=s.messages_per_proc,
+                )
+            )
+            io_ops.append(per_vproc)
+    return EMBSPCost(
+        v=v, p=p, D=D, B=B, supersteps=tuple(supersteps), io_ops=tuple(io_ops)
+    )
+
+
+def to_em_bsp_star(
+    cost: BSPStarCost,
+    p: int,
+    D: int,
+    B: int,
+    mu_items: int,
+) -> EMBSPCost:
+    """Convert a BSP* profile to EM-BSP* (Section 5 item 3).
+
+    Identical accounting to :func:`to_em_bsp` — the BSP* block size b
+    only matters for the *communication* charge, which carries over; the
+    I/O side benefits additionally because b >= B means every message
+    already fills disk blocks.
+    """
+    v = cost.v
+    require(p >= 1 and v % p == 0, f"p={p} must divide v={v}")
+    base = BSPCost(v=v, supersteps=cost.supersteps)
+    em = to_em_bsp(base, p=p, D=D, B=B, mu_items=mu_items)
+    return em
+
+
+def blockwise_io_efficient(cost: BSPStarCost, B: int) -> bool:
+    """Is every message at least one disk block (fully blocked I/O)?
+
+    BSP* algorithms with b >= B retain blocked disk access for free
+    under the simulation — the property BalancedRouting manufactures for
+    algorithms that lack it.
+    """
+    return cost.b >= B and all(s.min_message >= B for s in cost.supersteps)
+
+
+def c_optimality_preserved(
+    cost: BSPCost,
+    em: EMBSPCost,
+    beta: float,
+    mu_items: int,
+    g: float,
+    G: float,
+) -> bool:
+    """Theorem 3's side conditions for preserving c-optimality.
+
+    beta = total computation time of the original algorithm.  Requires
+    beta = omega(lambda * mu) — checked as a generous constant factor —
+    and G = BD * o(beta / (lambda * mu)).
+    """
+    lam = cost.lam
+    if lam == 0:
+        return True
+    overhead = lam * mu_items
+    if beta < overhead:
+        return False
+    G_cap = em.B * em.D * (beta / overhead)
+    return G <= G_cap

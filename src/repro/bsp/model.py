@@ -1,0 +1,110 @@
+"""BSP-family cost models (paper appendix 6.1 and 6.3).
+
+A BSP algorithm is summarized, for cost purposes, by its supersteps: each
+carries a computation cost ``w`` (max over processors) and an h-relation
+volume ``h`` (max items sent/received by any processor).  The models
+differ only in how a communication superstep is priced:
+
+* **BSP**:   w_comm = max(L, g * h)
+* **BSP***:  w_comm = max(L, g * h * penalty) where messages smaller than
+  the minimum block size b are charged as if they were b-sized — the
+  model that rewards *blockwise* communication;
+* **EM-BSP / EM-BSP***: adds t_io = G * (parallel I/Os) per superstep.
+
+These are analytic objects used by the Section 5 conversion theorems and
+the benchmarks; the executable machinery for CGM lives in
+:mod:`repro.cgm` / :mod:`repro.core`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Superstep:
+    """One BSP superstep's cost summary.
+
+    ``h`` is the h-relation bound; ``min_message`` the smallest message
+    any processor sends (items); ``messages_per_proc`` the max number of
+    messages one processor sends.
+    """
+
+    w_comp: float
+    h: int
+    min_message: int = 1
+    messages_per_proc: int = 1
+
+
+@dataclass(frozen=True)
+class BSPCost:
+    """A conforming BSP algorithm's cost profile."""
+
+    v: int                      #: processors
+    supersteps: tuple[Superstep, ...] = field(default_factory=tuple)
+
+    @property
+    def lam(self) -> int:
+        return len(self.supersteps)
+
+    @property
+    def h_min(self) -> int:
+        return min((s.h for s in self.supersteps), default=0)
+
+    @property
+    def h_max(self) -> int:
+        return max((s.h for s in self.supersteps), default=0)
+
+    def total_time(self, g: float, L: float) -> float:
+        return sum(
+            s.w_comp + max(L, g * s.h) for s in self.supersteps
+        )
+
+
+@dataclass(frozen=True)
+class BSPStarCost:
+    """BSP* profile: communication charged blockwise with block size b."""
+
+    v: int
+    b: int                      #: minimum efficient message (block) size
+    supersteps: tuple[Superstep, ...] = field(default_factory=tuple)
+
+    @property
+    def lam(self) -> int:
+        return len(self.supersteps)
+
+    def comm_charge(self, s: Superstep, g: float) -> float:
+        """BSP* charges ceil(size/b)*b per message: sub-block messages pay
+        for a full block."""
+        if s.h == 0:
+            return 0.0
+        per_message = max(1, s.h // max(1, s.messages_per_proc))
+        padded = -(-per_message // self.b) * self.b
+        return g * padded * s.messages_per_proc
+
+    def total_time(self, g: float, L: float) -> float:
+        return sum(
+            s.w_comp + max(L, self.comm_charge(s, g)) for s in self.supersteps
+        )
+
+
+@dataclass(frozen=True)
+class EMBSPCost:
+    """EM-BSP(*) profile: BSP plus per-superstep parallel I/O."""
+
+    v: int
+    p: int
+    D: int
+    B: int
+    supersteps: tuple[Superstep, ...] = field(default_factory=tuple)
+    io_ops: tuple[int, ...] = field(default_factory=tuple)  #: parallel I/Os per superstep
+
+    def total_time(self, g: float, G: float, L: float) -> float:
+        total = 0.0
+        for s, ios in zip(self.supersteps, self.io_ops):
+            total += s.w_comp + max(L, g * s.h) + G * ios
+        return total
+
+    @property
+    def total_ios(self) -> int:
+        return sum(self.io_ops)

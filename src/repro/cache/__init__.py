@@ -1,0 +1,18 @@
+"""Section 5's cache-memory extension.
+
+The same theory applies one level up the hierarchy: between cache (size
+M_I, lines of B_I) and main memory (the "problem" of size N = M), the
+block-access lower bounds of [3] hold, and when (M_I/B_I)^c = N the
+logarithmic factor again collapses to the constant c.  Programs formulated
+as coarse-grained parallel algorithms with virtual-processor contexts
+tuned to the cache size therefore control their cache-miss volume — the
+Vishkin-style observation the paper closes with.
+
+:class:`CacheSim` is a set-associative LRU cache simulator;
+:func:`tuned_vs_naive_sort_misses` demonstrates the effect on a concrete
+two-level workload.
+"""
+
+from repro.cache.cache_sim import CacheSim, cache_log_term, tuned_vs_naive_traversal
+
+__all__ = ["CacheSim", "cache_log_term", "tuned_vs_naive_traversal"]

@@ -1,0 +1,259 @@
+"""Engine driver: executes a :class:`CGMProgram` round by round.
+
+:class:`Engine` owns the driver loop shared by all backends; subclasses
+only implement *where contexts and messages live between rounds*:
+
+* :class:`InMemoryEngine` (here) keeps everything in Python objects — this
+  is the reference CGM machine with unbounded memory;
+* :class:`repro.core.seq_engine.SeqEMEngine` implements Algorithm 2
+  (single-processor external-memory simulation);
+* :class:`repro.core.par_engine.ParEMEngine` implements Algorithm 3
+  (p-processor external-memory simulation);
+* :class:`repro.core.vm_engine.VMEngine` replays the in-memory execution
+  through an LRU pager (the Figure 3 "virtual memory" baseline).
+
+The loop runs until every virtual processor's :meth:`CGMProgram.round`
+returns True **and** no messages are in flight; messages sent in round r
+are delivered in round r+1.
+
+With ``balanced=True`` every communication round is routed through the
+paper's Algorithm 1 (BalancedRouting): the engine splits each message into
+word-level chunks in a first balanced h-relation, regroups them at
+intermediate processors in an engine-internal *relay superstep*, and
+reassembles original payloads at the final destination.  This doubles the
+number of communication supersteps (Lemma 2) but bounds every physical
+message into [h/v - (v-1)/2, h/v + (v-1)/2].
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any
+
+from repro.cgm.config import MachineConfig
+from repro.cgm.message import Message
+from repro.cgm.metrics import CostReport, RoundMetrics
+from repro.cgm.program import CGMProgram, Context, RoundEnv
+from repro.util.rng import spawn_rngs
+from repro.util.validation import ConfigurationError, SimulationError
+
+#: hard guard against non-terminating programs.
+MAX_ROUNDS = 10_000
+
+
+@dataclass
+class RunResult:
+    """Outputs plus cost accounting of one engine execution."""
+
+    outputs: list[Any]
+    report: CostReport
+    cfg: MachineConfig
+
+    def output(self, pid: int) -> Any:
+        return self.outputs[pid]
+
+
+class Engine:
+    """Template driver; subclasses provide the storage backend."""
+
+    name = "abstract"
+
+    def __init__(
+        self,
+        cfg: MachineConfig,
+        balanced: bool = False,
+        validate: bool = True,
+    ) -> None:
+        self.cfg = cfg
+        self.balanced = balanced
+        self.validate = validate
+        self.constraint_warnings: list[str] = []
+
+    # ------------------------------------------------------------------ hooks
+
+    def _start(self, program: CGMProgram) -> None:
+        """Allocate backend structures before setup."""
+        raise NotImplementedError
+
+    def _store_context(self, pid: int, ctx: Context) -> None:
+        raise NotImplementedError
+
+    def _load_context(self, pid: int) -> Context:
+        raise NotImplementedError
+
+    def _put_messages(self, src_pid: int, msgs: list[Message]) -> None:
+        """Persist *msgs* for the **next** superstep (write side)."""
+        raise NotImplementedError
+
+    def _take_inbox(self, pid: int) -> list[Message]:
+        """Remove and return messages delivered to *pid* (read side)."""
+        raise NotImplementedError
+
+    def _flip(self) -> None:
+        """Superstep barrier: make messages written this superstep readable.
+
+        Superstep semantics require double buffering — a message sent in
+        round r must not be visible to a processor simulated later in the
+        same round.  On the EM backends this corresponds to the two
+        alternating bands of the message matrix (Observation 2).
+        """
+        raise NotImplementedError
+
+    def _pending_messages(self) -> bool:
+        """Any messages awaiting delivery (read side, after a flip)?"""
+        raise NotImplementedError
+
+    def _round_boundary(self, r: int) -> None:
+        """Called after each CGM round (superstep bookkeeping)."""
+
+    def _finalize(self, report: CostReport) -> None:
+        """Fold backend counters into the report."""
+
+    def _supersteps_per_round(self) -> int:
+        """Real-machine supersteps consumed per CGM round."""
+        return 1
+
+    # ------------------------------------------------------------------ driver
+
+    def run(self, program: CGMProgram, inputs: list[Any]) -> RunResult:
+        cfg = self.cfg
+        v = cfg.v
+        if len(inputs) != v:
+            raise ConfigurationError(
+                f"need one input slice per virtual processor: got {len(inputs)}, v={v}"
+            )
+        if self.validate:
+            self.constraint_warnings = cfg.validate(kappa=program.kappa)
+
+        from repro.core import balanced as bal  # local import: avoid cycle
+
+        rngs = spawn_rngs(cfg.seed, v)
+        report = CostReport(engine=self.name)
+        self._max_message_items = program.max_message_items(cfg)
+        self._start(program)
+
+        for pid in range(v):
+            ctx = Context()
+            program.setup(ctx, pid, cfg, inputs[pid])
+            self._store_context(pid, ctx)
+
+        r = 0
+        while True:
+            rm = RoundMetrics(r)
+            all_done = True
+            sent = [0] * v
+            recv = [0] * v
+            per_real_wall = [0.0] * cfg.p
+            vpr = cfg.vprocs_per_real
+
+            for pid in range(v):
+                real = pid // vpr
+                ctx = self._load_context(pid)
+                raw_inbox = self._take_inbox(pid)
+                if self.balanced and raw_inbox:
+                    inbox = bal.reassemble(raw_inbox)
+                else:
+                    inbox = raw_inbox
+                for m in inbox:
+                    recv[pid] += m.size_items
+                env = RoundEnv(pid, v, r, cfg, inbox, rngs[pid])
+                t0 = time.perf_counter()
+                done = program.round(r, ctx, env)
+                per_real_wall[real] += time.perf_counter() - t0
+                all_done &= bool(done)
+                self._store_context(pid, ctx)
+
+                outbox = env.outbox
+                rm.messages += len(outbox)
+                for m in outbox:
+                    sent[pid] += m.size_items
+                    rm.comm_items += m.size_items
+                    if (m.dest // vpr) != real:
+                        rm.cross_items += m.size_items
+                if self.balanced and outbox:
+                    outbox = bal.split_phase_a(outbox, v)
+                self._put_messages(pid, outbox)
+
+            self._flip()
+            if self.balanced:
+                self._relay_superstep(report)
+                self._flip()
+
+            rm.h_in = max(recv, default=0)
+            rm.h_out = max(sent, default=0)
+            rm.comp_wall_s = max(per_real_wall)
+            report.add_round(rm)
+            report.supersteps += self._supersteps_per_round() * (2 if self.balanced else 1)
+            self._round_boundary(r)
+            r += 1
+            if all_done and not self._pending_messages():
+                break
+            if r > MAX_ROUNDS:
+                raise SimulationError(
+                    f"program {program.name!r} exceeded {MAX_ROUNDS} rounds — "
+                    "missing termination?"
+                )
+
+        outputs = [program.finish(self._load_context(pid)) for pid in range(v)]
+        self._finalize(report)
+        return RunResult(outputs, report, cfg)
+
+    def _relay_superstep(self, report: CostReport) -> None:
+        """Balanced routing phase B: regroup chunks at intermediate procs.
+
+        Engine-internal — no program code runs, no contexts are loaded.
+        """
+        from repro.core import balanced as bal
+
+        v = self.cfg.v
+        vpr = self.cfg.vprocs_per_real
+        for pid in range(v):
+            chunks = self._take_inbox(pid)
+            if not chunks:
+                continue
+            forwarded = bal.regroup_phase_b(chunks)
+            self._put_messages(pid, forwarded)
+
+
+class InMemoryEngine(Engine):
+    """Reference backend: contexts and inboxes live in Python dicts.
+
+    This is the "pure CGM" machine the paper's algorithms are designed
+    for; the EM engines are differentially tested against it.
+    """
+
+    name = "in-memory"
+
+    def _start(self, program: CGMProgram) -> None:
+        self._contexts: dict[int, Context] = {}
+        v = self.cfg.v
+        self._ready: dict[int, list[Message]] = {pid: [] for pid in range(v)}
+        self._staged: dict[int, list[Message]] = {pid: [] for pid in range(v)}
+
+    def _store_context(self, pid: int, ctx: Context) -> None:
+        self._contexts[pid] = ctx
+
+    def _load_context(self, pid: int) -> Context:
+        return self._contexts[pid]
+
+    def _put_messages(self, src_pid: int, msgs: list[Message]) -> None:
+        for m in msgs:
+            self._staged[m.dest].append(m)
+
+    def _take_inbox(self, pid: int) -> list[Message]:
+        msgs = self._ready[pid]
+        self._ready[pid] = []
+        return msgs
+
+    def _flip(self) -> None:
+        # staged messages become deliverable; anything still unread in
+        # `ready` was ignored by its recipient this round and is dropped,
+        # matching superstep semantics (a message lives one superstep).
+        for pid, staged in self._staged.items():
+            if staged:
+                self._ready[pid].extend(staged)
+                self._staged[pid] = []
+
+    def _pending_messages(self) -> bool:
+        return any(self._ready.values())

@@ -1,0 +1,38 @@
+"""Messages exchanged in a CGM communication round (an h-relation)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.util.items import item_count
+
+
+@dataclass
+class Message:
+    """One point-to-point message of a communication superstep.
+
+    ``size_items`` is the h-relation charge: the number of 8-byte items the
+    payload occupies.  It is computed once at send time so engines on every
+    backend account identically.
+    """
+
+    src: int
+    dest: int
+    payload: Any
+    tag: str | None = None
+    size_items: int = field(default=-1)
+
+    def __post_init__(self) -> None:
+        if self.size_items < 0:
+            self.size_items = item_count(self.payload)
+
+
+def h_relation_size(messages: list[Message], v: int) -> int:
+    """The h of an h-relation: max over processors of items sent/received."""
+    sent = [0] * v
+    received = [0] * v
+    for m in messages:
+        sent[m.src] += m.size_items
+        received[m.dest] += m.size_items
+    return max(max(sent, default=0), max(received, default=0))

@@ -1,0 +1,134 @@
+"""Disk layouts: consecutive format, the staggered message matrix (Fig. 2).
+
+Definitions from the paper's appendix (6.9):
+
+* **Consecutive format** — block ``q`` of a run goes to disk
+  ``(d + q) mod D`` on track ``T0 + (d + q) // D``.  Reading or writing a
+  run of ``n`` blocks therefore costs ``ceil(n / D)`` fully parallel I/Os.
+
+* **Staggered message matrix** — the messages of one communication
+  superstep are stored in per-destination *bands* of parallel tracks.
+  With ``b'`` blocks reserved per message slot, the message from virtual
+  processor ``i`` to virtual processor ``j`` starts at linear offset
+  ``i * b'`` inside band ``j``, whose disk offset is ``d_j = (j*b') mod D``
+  and track base ``T_j = base + j * band_height``.  Block ``q`` of
+  ``msg_ij`` lands on disk ``(d_j + i*b' + q) mod D`` at track
+  ``T_j + (d_j + i*b' + q) // D``.  The stagger makes the *writes of one
+  source across consecutive destinations* land on distinct disks, and the
+  *reads of one destination across sources* consecutive — both fully
+  parallel.
+
+Two copies of the matrix alternate between supersteps (the engines' analog
+of Observation 2's format alternation): messages of round r are written
+into band-set ``r mod 2`` while the messages of round r-1 are read from
+band-set ``(r-1) mod 2``.
+"""
+
+from __future__ import annotations
+
+
+def consecutive_addresses(
+    nblocks: int, D: int, start_track: int, start_disk: int = 0
+) -> list[tuple[int, int]]:
+    """(disk, track) addresses of an ``nblocks``-run in consecutive format."""
+    out = []
+    for q in range(nblocks):
+        lin = start_disk + q
+        out.append((lin % D, start_track + lin // D))
+    return out
+
+
+class MessageMatrix:
+    """Address calculator for the staggered message layout.
+
+    Pure geometry — it owns no disk; the engines combine its addresses
+    with :meth:`repro.pdm.disk_array.DiskArray.write_blocks`, whose FIFO
+    conflict rule reproduces the paper's DiskWrite procedure.
+    """
+
+    def __init__(
+        self,
+        n_src: int,
+        n_dest: int,
+        D: int,
+        slot_blocks: int,
+        base_track: int = 0,
+    ) -> None:
+        if slot_blocks < 1:
+            raise ValueError("message slot must hold at least one block")
+        self.n_src = n_src        #: sources with a slot in every band (v)
+        self.n_dest = n_dest      #: destination bands (v, or v/p per real proc)
+        self.D = D
+        self.slot_blocks = slot_blocks
+        self.base_track = base_track
+        # highest linear index inside a band: (D-1) + n_src*b' - 1
+        self.band_height = ((D - 1) + n_src * slot_blocks - 1) // D + 1
+
+    @property
+    def tracks_per_copy(self) -> int:
+        """Track span of one full matrix (n_dest destination bands)."""
+        return self.n_dest * self.band_height
+
+    def copy_base(self, parity: int) -> int:
+        """Track base of matrix copy 0 or 1 (alternating supersteps)."""
+        return self.base_track + (parity % 2) * self.tracks_per_copy
+
+    def message_addresses(
+        self, src: int, dest: int, nblocks: int, parity: int
+    ) -> list[tuple[int, int]]:
+        """(disk, track) addresses for blocks 0..nblocks-1 of msg_{src,dest}."""
+        if nblocks > self.slot_blocks:
+            raise ValueError(
+                f"message of {nblocks} blocks exceeds slot of {self.slot_blocks}"
+            )
+        d_j = (dest * self.slot_blocks) % self.D
+        T_j = self.copy_base(parity) + dest * self.band_height
+        out = []
+        for q in range(nblocks):
+            lin = d_j + src * self.slot_blocks + q
+            out.append((lin % self.D, T_j + lin // self.D))
+        return out
+
+    def inbox_addresses(
+        self, dest: int, blocks_by_src: list[tuple[int, int]], parity: int
+    ) -> list[tuple[int, int]]:
+        """Read addresses for a destination's whole inbox.
+
+        *blocks_by_src* is a list of ``(src, nblocks)`` in the order the
+        engine wants the blocks back (ascending src gives the consecutive,
+        fully parallel read of the paper).
+        """
+        out: list[tuple[int, int]] = []
+        for src, nblocks in blocks_by_src:
+            out.extend(self.message_addresses(src, dest, nblocks, parity))
+        return out
+
+    def end_track(self) -> int:
+        """First track above both matrix copies (for dynamic allocation)."""
+        return self.base_track + 2 * self.tracks_per_copy
+
+
+class RegionAllocator:
+    """Grow-only track allocator for context regions and overflow runs.
+
+    Contexts change size between rounds; a virtual processor keeps its
+    region until it outgrows it, then gets a fresh, larger one (the old
+    tracks are freed on the simulated disks).  Allocation is in whole
+    track-rows (all D disks), so consecutive-format runs inside a region
+    are always fully parallel.
+    """
+
+    def __init__(self, D: int, first_track: int) -> None:
+        self.D = D
+        self._cursor = first_track
+
+    def alloc(self, nblocks: int) -> tuple[int, int]:
+        """Reserve rows for *nblocks* blocks; returns (start_track, rows)."""
+        rows = max(1, -(-nblocks // self.D))
+        start = self._cursor
+        self._cursor += rows
+        return start, rows
+
+    @property
+    def high_water_track(self) -> int:
+        return self._cursor

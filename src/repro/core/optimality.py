@@ -1,0 +1,105 @@
+"""The EM cost model's optimality notions (paper appendix 6.4).
+
+Definition 1: for optimal sequential time T(N) and an EM algorithm A* on p
+processors,
+
+* phi = computation time of A* / (T(N)/p)   — must be c + o(1),
+* xi  = communication time / (T(N)/p)       — must be o(1),
+* eta = I/O time / (T(N)/p)                 — must be o(1)
+
+for *c-optimality*; *work-optimal / communication-efficient /
+I/O-efficient* relax the o(1) terms to O(1).  Asymptotics cannot be
+checked on one run, so :func:`assess` evaluates the ratios at a given N
+and :func:`trend` fits how each ratio scales across a sweep of N — a
+decreasing (or flat) fitted exponent is the empirical signature of the
+o(1) (resp. O(1)) requirement.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.cgm.metrics import CostReport
+
+
+@dataclass(frozen=True)
+class OptimalityAssessment:
+    """The three Definition-1 ratios at one problem size."""
+
+    phi: float   #: computation / (T_seq / p)
+    xi: float    #: communication / (T_seq / p)
+    eta: float   #: I/O / (T_seq / p)
+    c: float     #: phi itself — the achieved constant
+
+    def is_c_optimal(self, c: float, slack: float = 0.25) -> bool:
+        """phi <= c (1+slack), xi and eta small relative to computation."""
+        return (
+            self.phi <= c * (1 + slack)
+            and self.xi <= slack * max(1.0, self.phi)
+            and self.eta <= slack * max(1.0, self.phi)
+        )
+
+    def is_work_optimal(self, c_cap: float = 16.0) -> bool:
+        return self.phi <= c_cap
+
+    def is_io_efficient(self, cap: float = 4.0) -> bool:
+        return self.eta <= cap * max(1.0, self.phi)
+
+    def is_communication_efficient(self, cap: float = 4.0) -> bool:
+        return self.xi <= cap * max(1.0, self.phi)
+
+
+def assess(
+    report: CostReport,
+    seq_time: float,
+    p: int,
+    g: float,
+    G: float,
+) -> OptimalityAssessment:
+    """Evaluate Definition 1's ratios for one run.
+
+    *seq_time* is the optimal sequential cost T(N) in the same units as
+    the report's modeled times (use a calibrated per-item cost for
+    analytic T(N), or measure the sequential algorithm's wall time).
+    """
+    base = seq_time / p
+    if base <= 0:
+        raise ValueError("sequential reference time must be positive")
+    phi = report.comp_wall_s / base
+    xi = report.t_comm(g) / base
+    eta = report.t_io(G) / base
+    return OptimalityAssessment(phi=phi, xi=xi, eta=eta, c=phi)
+
+
+def trend(
+    Ns: Sequence[int],
+    ratios: Sequence[float],
+) -> float:
+    """Fitted exponent alpha of ratio ~ N^alpha (least squares in log-log).
+
+    alpha <= 0 is the empirical signature of an o(1)/O(1) ratio; alpha > 0
+    means the term grows with N and the optimality claim fails.
+    """
+    if len(Ns) != len(ratios) or len(Ns) < 2:
+        raise ValueError("need at least two (N, ratio) pairs")
+    xs = [math.log(n) for n in Ns]
+    ys = [math.log(max(r, 1e-12)) for r in ratios]
+    n = len(xs)
+    mx = sum(xs) / n
+    my = sum(ys) / n
+    denom = sum((x - mx) ** 2 for x in xs)
+    if denom == 0:
+        return 0.0
+    return sum((x - mx) * (y - my) for x, y in zip(xs, ys)) / denom
+
+
+def sequential_sort_time(N: int, per_item_s: float = 5e-8) -> float:
+    """Analytic T(N) = N log2 N for sorting, scaled by a per-item constant."""
+    return per_item_s * N * max(1.0, math.log2(max(2, N)))
+
+
+def sequential_linear_time(N: int, per_item_s: float = 5e-8) -> float:
+    """Analytic T(N) = N for linear-time problems (permutation, transpose)."""
+    return per_item_s * N

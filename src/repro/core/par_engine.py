@@ -1,0 +1,301 @@
+"""Algorithm 3 — ParCompoundSuperstep — the p-processor EM simulation.
+
+Each of the ``p`` real processors owns a :class:`DiskArray` of ``D`` disks
+and ``M`` items of internal memory and simulates ``v/p`` virtual
+processors.  One CGM compound superstep becomes ``v/p`` real compound
+supersteps (Lemma 4's superstep blow-up): for each locally simulated
+virtual processor the engine
+
+(a) reads its context from the local disks (consecutive format),
+(b) reads its incoming message blocks from the local disks,
+(c) runs the program's round callback,
+(d) routes generated messages to the destination's *real* processor —
+    traffic whose source and destination real processors differ is charged
+    to the network at ``g`` per item — where they are written to the
+    destination's disks in the staggered format of Figure 2, and
+(e) writes the (possibly changed) context back (consecutive format).
+
+Messages larger than the staggered layout's fixed slot (possible only for
+unbalanced programs that underestimate ``max_message_items``) spill into a
+consecutive-format *overflow run*; the spilled blocks are counted in
+``CostReport.overflow_blocks`` so benchmarks can verify the balanced mode
+eliminates them.
+
+The simulation is sequential Python, but all cost accounting is
+per-real-processor with per-superstep maxima, so the reported parallel
+times are what a true p-machine would exhibit.
+"""
+
+from __future__ import annotations
+
+from repro.cgm.config import MachineConfig
+from repro.cgm.engine import Engine
+from repro.cgm.message import Message
+from repro.cgm.metrics import CostReport
+from repro.cgm.program import CGMProgram, Context
+from repro.core.layouts import MessageMatrix, RegionAllocator, consecutive_addresses
+from repro.pdm.block import pack_blocks, unpack_blocks
+from repro.pdm.disk_array import DiskArray
+from repro.pdm.memory import InternalMemory
+from repro.util.items import ITEM_BYTES, deserialize, serialize
+from repro.util.validation import require
+
+#: serialization envelope allowance when converting an item bound to blocks.
+_SLOT_OVERHEAD_BYTES = 256
+
+
+class _MetaEntry:
+    """In-memory record of one on-disk message (the v^2-size 'message
+    matrix directory' the paper keeps in internal memory).
+
+    ``parts`` lists the (tag, size_items) of each application message
+    coalesced into this physical slot message — the paper's model has one
+    message per (src, dest) pair per superstep (msg_ij), so when a program
+    sends several to one destination they share the slot as a bundle.
+    """
+
+    __slots__ = ("src", "nblocks", "parts", "overflow")
+
+    def __init__(self, src, nblocks, parts, overflow):
+        self.src = src
+        self.nblocks = nblocks
+        self.parts = parts  # list[(tag, size_items)]
+        self.overflow = overflow  # None, or explicit [(disk, track)] addresses
+
+
+class ParEMEngine(Engine):
+    """p-processor external-memory backend (Algorithm 3)."""
+
+    name = "par-em"
+
+    # ----------------------------------------------------------------- set-up
+
+    def _start(self, program: CGMProgram) -> None:
+        cfg = self.cfg
+        self.vpr = cfg.vprocs_per_real
+
+        slot_items = self._max_message_items
+        envelope = _SLOT_OVERHEAD_BYTES
+        if self.balanced:
+            # Lemma 2: balanced messages carry at most ~2N/v^2 words, but
+            # a chunk bundle adds per-chunk metadata (one chunk per
+            # original message routed through the bin)
+            slot_items = max(slot_items, cfg.max_balanced_message_items)
+            envelope += (cfg.v + 4) * 160
+        max_msg_bytes = slot_items * ITEM_BYTES + envelope
+        self.slot_blocks = max(1, -(-max_msg_bytes // (cfg.B * ITEM_BYTES)))
+
+        self.arrays = [DiskArray(cfg.D, cfg.B) for _ in range(cfg.p)]
+        self.memories = [InternalMemory(cfg.M, strict=False) for _ in range(cfg.p)]
+        self.matrices = [
+            MessageMatrix(cfg.v, self.vpr, cfg.D, self.slot_blocks, base_track=0)
+            for _ in range(cfg.p)
+        ]
+        self.allocators = [
+            RegionAllocator(cfg.D, self.matrices[r].end_track()) for r in range(cfg.p)
+        ]
+
+        v = cfg.v
+        # context directory: pid -> (start_track, rows, nblocks)
+        self._ctx_region: dict[int, tuple[int, int, int]] = {}
+        # message directories for the two alternating matrix copies
+        self._staged_meta: dict[int, list[_MetaEntry]] = {pid: [] for pid in range(v)}
+        self._ready_meta: dict[int, list[_MetaEntry]] = {pid: [] for pid in range(v)}
+        self._staged_parity = 0
+        self._ready_parity = 1
+
+        self._charged: dict[int, int] = {}
+        self._ctx_blocks_io = 0
+        self._msg_blocks_io = 0
+        self._overflow_blocks = 0
+
+    # ------------------------------------------------------------- ownership
+
+    def _owner(self, pid: int) -> int:
+        return pid // self.vpr
+
+    def _local(self, pid: int) -> int:
+        return pid % self.vpr
+
+    # ------------------------------------------------------------- contexts
+
+    def _store_context(self, pid: int, ctx: Context) -> None:
+        owner = self._owner(pid)
+        array, alloc = self.arrays[owner], self.allocators[owner]
+        blocks = pack_blocks(serialize(dict(ctx)), self.cfg.B)
+        nblocks = len(blocks)
+        region = self._ctx_region.get(pid)
+        if region is None or region[1] * self.cfg.D < nblocks:
+            if region is not None:
+                # free the outgrown region's tracks
+                old = consecutive_addresses(region[2], self.cfg.D, region[0])
+                array.free_blocks(old)
+            start, rows = alloc.alloc(max(nblocks, 1))
+            region = (start, rows, nblocks)
+        else:
+            region = (region[0], region[1], nblocks)
+        self._ctx_region[pid] = region
+        addrs = consecutive_addresses(nblocks, self.cfg.D, region[0])
+        array.write_blocks(list(zip((a for a, _ in addrs), (t for _, t in addrs), blocks)))
+        self._ctx_blocks_io += nblocks
+        self._charge(pid, nblocks * self.cfg.B)
+
+    def _load_context(self, pid: int) -> Context:
+        owner = self._owner(pid)
+        array = self.arrays[owner]
+        start, _rows, nblocks = self._ctx_region[pid]
+        addrs = consecutive_addresses(nblocks, self.cfg.D, start)
+        blocks = array.read_blocks(addrs)
+        self._ctx_blocks_io += nblocks
+        self._charge(pid, nblocks * self.cfg.B)
+        return Context(deserialize(unpack_blocks(blocks)))
+
+    # ------------------------------------------------------------- messages
+
+    def _put_messages(self, src_pid: int, msgs: list[Message]) -> None:
+        cfg = self.cfg
+        # one physical slot message per destination (the paper's msg_ij):
+        # several application messages to one destination share the slot
+        by_dest: dict[int, list[Message]] = {}
+        for m in msgs:
+            by_dest.setdefault(m.dest, []).append(m)
+
+        # FIFO order by destination, as the paper's DiskWrite services them.
+        by_owner: dict[int, list[tuple[int, int, bytes]]] = {}
+        for dest in sorted(by_dest):
+            group = by_dest[dest]
+            if len(group) == 1:
+                payload_obj = group[0].payload
+            else:
+                payload_obj = [(m.tag, m.payload) for m in group]
+            parts = [(m.tag, m.size_items) for m in group]
+            owner = self._owner(dest)
+            blocks = pack_blocks(serialize(payload_obj), cfg.B)
+            nblocks = len(blocks)
+            self._charge(src_pid, nblocks * cfg.B)
+            if nblocks <= self.slot_blocks:
+                addrs = self.matrices[owner].message_addresses(
+                    src_pid, self._local(dest), nblocks, self._staged_parity
+                )
+                overflow = None
+            else:
+                start, _rows = self.allocators[owner].alloc(nblocks)
+                addrs = consecutive_addresses(nblocks, cfg.D, start)
+                overflow = addrs
+                self._overflow_blocks += nblocks
+            by_owner.setdefault(owner, []).extend(
+                (d, t, blk) for (d, t), blk in zip(addrs, blocks)
+            )
+            self._staged_meta[dest].append(
+                _MetaEntry(src_pid, nblocks, parts, overflow)
+            )
+            self._msg_blocks_io += nblocks
+        for owner, placements in by_owner.items():
+            self.arrays[owner].write_blocks(placements)
+        self._release(src_pid)
+
+    def _take_inbox(self, pid: int) -> list[Message]:
+        cfg = self.cfg
+        entries = self._ready_meta[pid]
+        if not entries:
+            return []
+        self._ready_meta[pid] = []
+        owner = self._owner(pid)
+        array = self.arrays[owner]
+
+        entries.sort(key=lambda e: e.src)
+        slot_entries = [e for e in entries if e.overflow is None]
+        addrs = self.matrices[owner].inbox_addresses(
+            self._local(pid),
+            [(e.src, e.nblocks) for e in slot_entries],
+            self._ready_parity,
+        )
+        blocks = array.read_blocks(addrs)
+        self._msg_blocks_io += len(blocks)
+
+        msgs: list[Message] = []
+
+        def unbundle(e: _MetaEntry, payload_obj) -> None:
+            if len(e.parts) == 1:
+                tag, size = e.parts[0]
+                msgs.append(Message(e.src, pid, payload_obj, tag, size))
+            else:
+                for (tag, size), (_t, payload) in zip(e.parts, payload_obj):
+                    msgs.append(Message(e.src, pid, payload, tag, size))
+
+        cursor = 0
+        for e in slot_entries:
+            chunk = blocks[cursor : cursor + e.nblocks]
+            cursor += e.nblocks
+            unbundle(e, deserialize(unpack_blocks(chunk)))
+            self._charge(pid, e.nblocks * cfg.B)
+        for e in entries:
+            if e.overflow is None:
+                continue
+            chunk = array.read_blocks(e.overflow)
+            array.free_blocks(e.overflow)
+            self._msg_blocks_io += e.nblocks
+            unbundle(e, deserialize(unpack_blocks(chunk)))
+            self._charge(pid, e.nblocks * cfg.B)
+        msgs.sort(key=lambda m: (m.src, m.tag or ""))
+        return msgs
+
+    def _flip(self) -> None:
+        for pid, staged in self._staged_meta.items():
+            if staged:
+                self._ready_meta[pid].extend(staged)
+                self._staged_meta[pid] = []
+        self._staged_parity, self._ready_parity = (
+            self._ready_parity,
+            self._staged_parity,
+        )
+
+    def _pending_messages(self) -> bool:
+        return any(self._ready_meta.values())
+
+    # ------------------------------------------------------------- accounting
+
+    def _charge(self, pid: int, items: int) -> None:
+        owner = self._owner(pid)
+        self.memories[owner].charge(items)
+        self._charged[pid] = self._charged.get(pid, 0) + items
+
+    def _release(self, pid: int) -> None:
+        owner = self._owner(pid)
+        self.memories[owner].release(self._charged.pop(pid, 0))
+
+    def _supersteps_per_round(self) -> int:
+        # Lemma 4: one CGM round costs v/p real compound supersteps.
+        return self.vpr
+
+    def _finalize(self, report: CostReport) -> None:
+        # release anything still charged (finish() loads contexts)
+        for pid in list(self._charged):
+            self._release(pid)
+        io_max = None
+        for array in self.arrays:
+            report.io.merge(array.stats)
+            if io_max is None or array.stats.parallel_ios > io_max.parallel_ios:
+                io_max = array.stats
+        report.io_max = io_max.snapshot() if io_max else report.io.snapshot()
+        report.peak_memory_items = max(m.peak for m in self.memories)
+        report.context_blocks_io = self._ctx_blocks_io
+        report.message_blocks_io = self._msg_blocks_io
+        report.overflow_blocks = self._overflow_blocks
+
+
+class SeqEMEngine(ParEMEngine):
+    """Algorithm 2 — the single-processor EM simulation.
+
+    Identical machinery with ``p = 1``: no network traffic (every message
+    is disk I/O), and one real compound superstep per CGM round.
+    """
+
+    name = "seq-em"
+
+    def __init__(self, cfg: MachineConfig, balanced: bool = False, validate: bool = True) -> None:
+        require(cfg.p == 1, f"SeqEMEngine requires p=1, got p={cfg.p}")
+        super().__init__(cfg, balanced=balanced, validate=validate)
+
+    def _supersteps_per_round(self) -> int:
+        return 1

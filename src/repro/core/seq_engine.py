@@ -1,0 +1,11 @@
+"""Algorithm 2 — SeqCompoundSuperstep (single-processor EM simulation).
+
+The implementation lives in :mod:`repro.core.par_engine`:
+:class:`SeqEMEngine` is the p=1 specialization of Algorithm 3's machinery
+(no network, one real compound superstep per CGM round).  This module
+re-exports it under the name the paper's structure suggests.
+"""
+
+from repro.core.par_engine import SeqEMEngine
+
+__all__ = ["SeqEMEngine"]

@@ -1,0 +1,19 @@
+"""User-facing external-memory API and classical PDM baselines.
+
+:mod:`repro.em.runner` wraps the engine/program machinery into one-call
+functions (``em_sort``, ``em_permute``, ``em_transpose``, ``em_run``);
+:mod:`repro.em.baselines` implements the *classical* PDM algorithms
+(multiway merge sort with its log_{M/B}(N/B) passes, naive permutation)
+that the Figure 5 benchmarks compare against.
+"""
+
+from repro.em.runner import EMResult, em_permute, em_run, em_sort, em_transpose, make_engine
+
+__all__ = [
+    "EMResult",
+    "em_permute",
+    "em_run",
+    "em_sort",
+    "em_transpose",
+    "make_engine",
+]

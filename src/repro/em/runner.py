@@ -1,0 +1,142 @@
+"""One-call external-memory operations built on the simulation engines.
+
+These are the functions a downstream user calls::
+
+    cfg = MachineConfig(N=n, v=16, p=2, D=2, B=512)
+    out = em_sort(data, cfg)                     # parallel EM sort
+    out.values                                    # the sorted array
+    out.report.io.parallel_ios                    # PDM cost of the run
+
+``engine=`` selects the backend: ``"seq"`` (Algorithm 2, default when
+p == 1), ``"par"`` (Algorithm 3), ``"memory"`` (pure CGM reference), or
+``"vm"`` (the Figure 3 LRU-paging baseline).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.algorithms.collectives import partition_array
+from repro.algorithms.permutation import CGMPermute
+from repro.algorithms.sorting import SampleSort
+from repro.algorithms.transpose import CGMTranspose
+from repro.cgm.config import MachineConfig
+from repro.cgm.engine import Engine, InMemoryEngine, RunResult
+from repro.cgm.metrics import CostReport
+from repro.cgm.program import CGMProgram
+from repro.core.par_engine import ParEMEngine, SeqEMEngine
+from repro.core.vm_engine import VMEngine
+from repro.util.validation import ConfigurationError
+
+_ENGINES = {
+    "seq": SeqEMEngine,
+    "par": ParEMEngine,
+    "memory": InMemoryEngine,
+    "vm": VMEngine,
+}
+
+
+def make_engine(
+    cfg: MachineConfig,
+    engine: str | None = None,
+    balanced: bool = False,
+    validate: bool = True,
+) -> Engine:
+    """Engine factory; ``None`` picks seq/par EM from ``cfg.p``."""
+    if engine is None:
+        engine = "seq" if cfg.p == 1 else "par"
+    try:
+        cls = _ENGINES[engine]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown engine {engine!r}; choose from {sorted(_ENGINES)}"
+        ) from None
+    return cls(cfg, balanced=balanced, validate=validate)
+
+
+@dataclass
+class EMResult:
+    """An EM operation's output plus its full cost accounting."""
+
+    values: Any
+    result: RunResult
+
+    @property
+    def report(self) -> CostReport:
+        return self.result.report
+
+    @property
+    def cfg(self) -> MachineConfig:
+        return self.result.cfg
+
+
+def em_run(
+    program: CGMProgram,
+    inputs: list[Any],
+    cfg: MachineConfig,
+    engine: str | None = None,
+    balanced: bool = False,
+    validate: bool = True,
+) -> RunResult:
+    """Run any CGM program on the selected backend."""
+    return make_engine(cfg, engine, balanced, validate).run(program, inputs)
+
+
+def em_sort(
+    data: np.ndarray,
+    cfg: MachineConfig,
+    engine: str | None = None,
+    balanced: bool = False,
+) -> EMResult:
+    """Sort *data* with the simulated CGM sample sort (O(N/(pDB)) I/Os)."""
+    data = np.asarray(data)
+    res = em_run(SampleSort(), partition_array(data, cfg.v), cfg, engine, balanced)
+    return EMResult(np.concatenate(res.outputs), res)
+
+
+def em_permute(
+    values: np.ndarray,
+    destinations: np.ndarray,
+    cfg: MachineConfig,
+    engine: str | None = None,
+    balanced: bool = False,
+) -> EMResult:
+    """Permute int64 *values*: output[destinations[i]] = values[i].
+
+    *destinations* must be a permutation of 0..N-1 (Algorithm 4 of the
+    paper — O(N/(pDB)) I/Os vs the PDM's min(N/D, sort) lower bound).
+    """
+    values = np.asarray(values)
+    destinations = np.asarray(destinations, dtype=np.int64)
+    if values.shape != destinations.shape:
+        raise ConfigurationError("values and destinations must have equal length")
+    inputs = list(
+        zip(partition_array(values, cfg.v), partition_array(destinations, cfg.v))
+    )
+    res = em_run(CGMPermute(), inputs, cfg, engine, balanced)
+    return EMResult(np.concatenate(res.outputs), res)
+
+
+def em_transpose(
+    matrix: np.ndarray,
+    cfg: MachineConfig,
+    engine: str | None = None,
+    balanced: bool = False,
+) -> EMResult:
+    """Transpose a k x ell int64 matrix (O(N/(pDB)) I/Os)."""
+    matrix = np.asarray(matrix)
+    if matrix.ndim != 2:
+        raise ConfigurationError("em_transpose needs a 2-D matrix")
+    k, ell = matrix.shape
+    bands = np.array_split(matrix, cfg.v, axis=0)
+    row0 = 0
+    inputs = []
+    for band in bands:
+        inputs.append((band, row0, k, ell))
+        row0 += band.shape[0]
+    res = em_run(CGMTranspose(), inputs, cfg, engine, balanced)
+    out = np.vstack([o for o in res.outputs if o.size]) if any(o.size for o in res.outputs) else np.zeros((ell, k), dtype=np.int64)
+    return EMResult(out, res)

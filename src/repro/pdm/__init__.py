@@ -1,0 +1,32 @@
+"""Parallel Disk Model (PDM) substrate.
+
+Implements the Vitter–Shriver two-level memory model the paper analyses
+against: each (real) processor owns ``D`` independent disks; a disk is a
+sequence of tracks; a track stores exactly one block of ``B`` items; one
+*parallel I/O operation* may touch at most one track per disk and moves up
+to ``D*B`` items at cost ``G``.
+
+The substrate is a faithful simulator, not a performance shim: the disks
+store real bytes, reads genuinely reconstruct what was written, and the
+:class:`IOStats` counters are the PDM cost measure the paper's theorems are
+stated in.
+"""
+
+from repro.pdm.block import pack_blocks, unpack_blocks
+from repro.pdm.disk import Disk
+from repro.pdm.disk_array import DiskArray, IOOp
+from repro.pdm.io_stats import DiskServiceModel, IOStats
+from repro.pdm.memory import InternalMemory
+from repro.pdm.vm import LRUPager
+
+__all__ = [
+    "pack_blocks",
+    "unpack_blocks",
+    "Disk",
+    "DiskArray",
+    "IOOp",
+    "DiskServiceModel",
+    "IOStats",
+    "InternalMemory",
+    "LRUPager",
+]

@@ -1,0 +1,53 @@
+"""A single simulated disk: a direct-access sequence of tracks."""
+
+from __future__ import annotations
+
+from repro.util.validation import SimulationError
+
+
+class Disk:
+    """One disk drive: tracks addressed by number, one block per track.
+
+    Tracks are materialized lazily (a dict), so a simulation can use a
+    sparse track space without preallocating.  Per-disk read/write counters
+    feed the load-balance assertions in the tests: the paper's layouts are
+    only correct if every disk services the same number of blocks (±1).
+    """
+
+    __slots__ = ("disk_id", "_tracks", "blocks_read", "blocks_written")
+
+    def __init__(self, disk_id: int) -> None:
+        self.disk_id = disk_id
+        self._tracks: dict[int, bytes] = {}
+        self.blocks_read = 0
+        self.blocks_written = 0
+
+    def write(self, track: int, data: bytes) -> None:
+        """Store one block at *track* (overwrites)."""
+        if track < 0:
+            raise SimulationError(f"negative track {track} on disk {self.disk_id}")
+        self._tracks[track] = data
+        self.blocks_written += 1
+
+    def read(self, track: int) -> bytes:
+        """Fetch the block at *track*; reading an unwritten track is a bug."""
+        try:
+            block = self._tracks[track]
+        except KeyError:
+            raise SimulationError(
+                f"read of unwritten track {track} on disk {self.disk_id}"
+            ) from None
+        self.blocks_read += 1
+        return block
+
+    def free(self, track: int) -> None:
+        """Discard the block at *track* (space reuse between supersteps)."""
+        self._tracks.pop(track, None)
+
+    @property
+    def tracks_in_use(self) -> int:
+        return len(self._tracks)
+
+    def max_track(self) -> int:
+        """Highest track currently holding data, -1 if empty."""
+        return max(self._tracks, default=-1)

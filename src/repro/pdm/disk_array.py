@@ -1,0 +1,139 @@
+"""A bank of D disks honoring the PDM parallel-I/O rule.
+
+The only way to move data is :meth:`DiskArray.parallel_io`, which takes a
+batch of per-disk track operations and enforces the model's invariant: **at
+most one track per disk per operation**.  Everything above this layer
+(consecutive layout, staggered message matrix, the DiskWrite FIFO) is
+responsible for scheduling conflict-free batches; the array will refuse a
+batch that violates the rule, so a mis-scheduled layout fails loudly in the
+tests instead of silently undercounting I/O.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.pdm.disk import Disk
+from repro.pdm.io_stats import IOStats
+from repro.util.validation import SimulationError, require
+
+
+@dataclass(frozen=True)
+class IOOp:
+    """One track access within a parallel I/O.
+
+    ``data is None`` means *read*; otherwise the bytes are written.
+    """
+
+    disk: int
+    track: int
+    data: bytes | None = None
+
+    @property
+    def is_write(self) -> bool:
+        return self.data is not None
+
+
+class DiskArray:
+    """D simulated disks owned by one (real) processor."""
+
+    def __init__(self, D: int, B: int) -> None:
+        require(D >= 1, f"need at least one disk, got D={D}")
+        require(B >= 1, f"block size must be positive, got B={B}")
+        self.D = D
+        self.B = B
+        self.disks = [Disk(d) for d in range(D)]
+        self.stats = IOStats(per_disk_blocks=[0] * D)
+
+    # -- core operation ----------------------------------------------------
+
+    def parallel_io(self, ops: list[IOOp]) -> list[bytes]:
+        """Execute one parallel I/O operation.
+
+        *ops* may mix reads and writes (the model allows any one-track-per-
+        disk access pattern).  Returns the data of the read ops, in the
+        order they appear in *ops*.
+        """
+        if not ops:
+            return []
+        touched: set[int] = set()
+        for op in ops:
+            if not (0 <= op.disk < self.D):
+                raise SimulationError(f"disk index {op.disk} out of range 0..{self.D - 1}")
+            if op.disk in touched:
+                raise SimulationError(
+                    f"parallel I/O touches disk {op.disk} twice — the PDM "
+                    "allows at most one track per disk per operation"
+                )
+            touched.add(op.disk)
+
+        out: list[bytes] = []
+        n_read = n_written = 0
+        for op in ops:
+            if op.is_write:
+                self.disks[op.disk].write(op.track, op.data)  # type: ignore[arg-type]
+                n_written += 1
+            else:
+                out.append(self.disks[op.disk].read(op.track))
+                n_read += 1
+        self.stats.record(n_read, n_written, sorted(touched), self.D)
+        return out
+
+    # -- bulk helpers (each issues ceil(n/D) parallel I/Os) -----------------
+
+    def write_blocks(self, placements: list[tuple[int, int, bytes]]) -> int:
+        """Write blocks at explicit ``(disk, track)`` addresses, greedily
+        packing consecutive conflict-free runs into parallel I/Os (FIFO
+        order is preserved, as in the paper's DiskWrite procedure).
+
+        Returns the number of parallel I/O operations used.
+        """
+        ops_used = 0
+        batch: list[IOOp] = []
+        used: set[int] = set()
+        for disk, track, data in placements:
+            if disk in used:
+                self.parallel_io(batch)
+                ops_used += 1
+                batch, used = [], set()
+            batch.append(IOOp(disk, track, data))
+            used.add(disk)
+        if batch:
+            self.parallel_io(batch)
+            ops_used += 1
+        return ops_used
+
+    def read_blocks(self, addresses: list[tuple[int, int]]) -> list[bytes]:
+        """Read blocks at explicit ``(disk, track)`` addresses, batching
+        conflict-free runs exactly like :meth:`write_blocks`."""
+        out: list[bytes] = []
+        batch: list[IOOp] = []
+        used: set[int] = set()
+        for disk, track in addresses:
+            if disk in used:
+                out.extend(self.parallel_io(batch))
+                batch, used = [], set()
+            batch.append(IOOp(disk, track))
+            used.add(disk)
+        if batch:
+            out.extend(self.parallel_io(batch))
+        return out
+
+    def free_blocks(self, addresses: list[tuple[int, int]]) -> None:
+        """Release tracks (no I/O cost — deallocation is bookkeeping)."""
+        for disk, track in addresses:
+            self.disks[disk].free(track)
+
+    # -- inspection ----------------------------------------------------------
+
+    @property
+    def tracks_in_use(self) -> int:
+        return sum(d.tracks_in_use for d in self.disks)
+
+    def max_track(self) -> int:
+        return max((d.max_track() for d in self.disks), default=-1)
+
+    def load_balance(self) -> tuple[int, int]:
+        """(min, max) blocks serviced per disk over the whole run."""
+        per = self.stats.per_disk_blocks or [0] * self.D
+        return min(per), max(per)

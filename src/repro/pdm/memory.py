@@ -1,0 +1,52 @@
+"""Internal (main) memory accounting for one real processor.
+
+The PDM requires that a processor can hold at least one block per disk
+(``M >= D*B``) and the simulation theorems require ``M = Theta(mu)`` where
+``mu`` is the largest virtual-processor context.  The engines charge every
+context, inbox and staging buffer against this budget; in strict mode an
+overflow is an error (the algorithm does not fit the machine), otherwise
+the high-water mark is recorded so benchmarks can report it.
+"""
+
+from __future__ import annotations
+
+from repro.util.validation import SimulationError
+
+
+class InternalMemory:
+    """Capacity counter in items, with peak tracking."""
+
+    __slots__ = ("capacity", "used", "peak", "strict")
+
+    def __init__(self, capacity_items: int, strict: bool = False) -> None:
+        self.capacity = int(capacity_items)
+        self.used = 0
+        self.peak = 0
+        self.strict = strict
+
+    def charge(self, n_items: int) -> None:
+        """Allocate *n_items* items of internal memory."""
+        if n_items < 0:
+            raise ValueError("cannot charge a negative allocation")
+        self.used += n_items
+        if self.used > self.peak:
+            self.peak = self.used
+        if self.strict and self.used > self.capacity:
+            raise SimulationError(
+                f"internal memory overflow: {self.used} items used, "
+                f"capacity M={self.capacity}"
+            )
+
+    def release(self, n_items: int) -> None:
+        """Free *n_items* items."""
+        if n_items < 0:
+            raise ValueError("cannot release a negative allocation")
+        self.used = max(0, self.used - n_items)
+
+    def reset(self) -> None:
+        self.used = 0
+
+    @property
+    def overflowed(self) -> bool:
+        """Did the run ever exceed capacity (relevant in non-strict mode)?"""
+        return self.peak > self.capacity

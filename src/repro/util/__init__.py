@@ -1,0 +1,38 @@
+"""Shared low-level utilities: item accounting, serialization, RNG, validation.
+
+The Parallel Disk Model (PDM) measures everything in *application data
+items*.  This package fixes the item size (8 bytes), provides fast
+serialization of contexts/messages into item-aligned byte strings, and the
+deterministic random-number plumbing used across algorithms and benchmarks.
+"""
+
+from repro.util.items import (
+    ITEM_BYTES,
+    blocks_needed,
+    bytes_to_items,
+    deserialize,
+    item_count,
+    serialize,
+)
+from repro.util.rng import make_rng, spawn_rngs
+from repro.util.validation import (
+    ConfigurationError,
+    ConstraintViolation,
+    SimulationError,
+    require,
+)
+
+__all__ = [
+    "ITEM_BYTES",
+    "blocks_needed",
+    "bytes_to_items",
+    "deserialize",
+    "item_count",
+    "serialize",
+    "make_rng",
+    "spawn_rngs",
+    "ConfigurationError",
+    "ConstraintViolation",
+    "SimulationError",
+    "require",
+]

@@ -1,0 +1,27 @@
+"""Deterministic random-number plumbing.
+
+Everything in the reproduction is seeded: benchmarks must be re-runnable
+bit-for-bit, and the EM engines must replay identical message traffic on
+every backend.  Virtual processors get independent child generators derived
+from a single seed via :func:`numpy.random.SeedSequence.spawn`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def make_rng(seed: int | None = 0) -> np.random.Generator:
+    """A fresh :class:`numpy.random.Generator` for the given seed."""
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed: int, n: int) -> list[np.random.Generator]:
+    """*n* statistically-independent generators derived from one seed.
+
+    Used to give each of the ``v`` virtual processors its own stream so a
+    CGM algorithm's randomness does not depend on the order in which the
+    engines happen to simulate the processors.
+    """
+    seq = np.random.SeedSequence(seed)
+    return [np.random.default_rng(s) for s in seq.spawn(n)]

@@ -1,0 +1,27 @@
+"""Error types and the `require` helper used across the library."""
+
+from __future__ import annotations
+
+
+class SimulationError(RuntimeError):
+    """An engine detected an internal inconsistency while simulating."""
+
+
+class ConfigurationError(ValueError):
+    """A machine/algorithm configuration is malformed (e.g. v not divisible
+    by p, non-positive block size)."""
+
+
+class ConstraintViolation(ValueError):
+    """A paper-mandated parameter constraint does not hold.
+
+    The paper's theorems only apply inside a parameter region (e.g.
+    ``N = Omega(v*D*B)``, ``N >= v^2*B + v^2(v-1)/2``).  Engines raise this
+    in strict mode and warn otherwise.
+    """
+
+
+def require(cond: bool, message: str, exc: type[Exception] = ConfigurationError) -> None:
+    """Raise *exc* with *message* unless *cond* holds."""
+    if not cond:
+        raise exc(message)

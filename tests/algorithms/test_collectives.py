@@ -1,0 +1,114 @@
+"""Tests for collective patterns and partitioning helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.collectives import (
+    AllGather,
+    AllToAll,
+    Broadcast,
+    PrefixSum,
+    bucket_by_dest,
+    owner_of_index,
+    partition_array,
+    slice_bounds,
+)
+from repro.cgm.config import MachineConfig
+from repro.em.runner import make_engine
+
+from tests.conftest import all_engine_kinds, cfg_for
+
+
+class TestPartitioning:
+    @given(n=st.integers(0, 1000), v=st.integers(1, 32))
+    def test_partition_covers_and_balances(self, n, v):
+        arr = np.arange(n)
+        parts = partition_array(arr, v)
+        assert len(parts) == v
+        assert np.array_equal(np.concatenate(parts) if parts else arr, arr)
+        sizes = [p.size for p in parts]
+        assert max(sizes) - min(sizes) <= 1
+
+    @given(n=st.integers(1, 1000), v=st.integers(1, 32))
+    def test_slice_bounds_match_partition(self, n, v):
+        arr = np.arange(n)
+        parts = partition_array(arr, v)
+        for pid in range(v):
+            lo, hi = slice_bounds(n, v, pid)
+            assert np.array_equal(parts[pid], arr[lo:hi])
+
+    @given(n=st.integers(1, 500), v=st.integers(1, 16))
+    def test_owner_of_index_consistent(self, n, v):
+        for idx in range(n):
+            owner = owner_of_index(idx, n, v)
+            lo, hi = slice_bounds(n, v, int(owner))
+            assert lo <= idx < hi
+
+    def test_owner_vectorized_matches_scalar(self):
+        n, v = 103, 7
+        idx = np.arange(n)
+        owners = owner_of_index(idx, n, v)
+        assert all(owners[i] == owner_of_index(i, n, v) for i in range(n))
+
+    def test_bucket_by_dest_grouping(self):
+        dests = np.array([2, 0, 2, 1, 0])
+        rows = np.arange(10).reshape(5, 2)
+        out = bucket_by_dest(dests, rows, v=3)
+        assert set(out) == {0, 1, 2}
+        assert np.array_equal(out[0], rows[[1, 4]])
+        assert np.array_equal(out[1], rows[[3]])
+        assert np.array_equal(out[2], rows[[0, 2]])
+
+    def test_bucket_by_dest_omits_empty(self):
+        out = bucket_by_dest(np.array([1, 1]), np.array([[1], [2]]), v=4)
+        assert set(out) == {1}
+
+
+@pytest.mark.parametrize("kind", all_engine_kinds())
+class TestCollectivePrograms:
+    def base_cfg(self) -> MachineConfig:
+        return MachineConfig(N=1 << 12, v=8, D=2, B=32)
+
+    def test_broadcast(self, kind):
+        cfg = cfg_for(kind, self.base_cfg())
+        inputs = ["the-value" if pid == 3 else None for pid in range(8)]
+        res = make_engine(cfg, kind).run(Broadcast(root=3), inputs)
+        assert res.outputs == ["the-value"] * 8
+
+    def test_all_gather(self, kind):
+        cfg = cfg_for(kind, self.base_cfg())
+        res = make_engine(cfg, kind).run(AllGather(), list(range(8)))
+        assert res.outputs == [list(range(8))] * 8
+
+    def test_prefix_sum(self, kind):
+        cfg = cfg_for(kind, self.base_cfg())
+        vals = [float(x) for x in [5, 1, 4, 2, 8, 0, 3, 7]]
+        res = make_engine(cfg, kind).run(PrefixSum(), vals)
+        expect = [sum(vals[:i]) for i in range(8)]
+        assert res.outputs == pytest.approx(expect)
+
+    def test_all_to_all(self, kind):
+        cfg = cfg_for(kind, self.base_cfg())
+        res = make_engine(cfg, kind).run(AllToAll(), [None] * 8)
+        for pid, received in enumerate(res.outputs):
+            assert set(received) == set(range(8))
+            for src, payload in received.items():
+                assert payload == (src, pid)
+
+
+class TestAllToAllBalanced:
+    @settings(max_examples=10, deadline=None)
+    @given(v=st.sampled_from([2, 4, 8]))
+    def test_balanced_equals_direct(self, v):
+        cfg = MachineConfig(N=1 << 12, v=v, D=2, B=32)
+        payload = lambda pid, dest: np.arange(pid * 31 + dest * 7 + 1)
+        direct = make_engine(cfg, "seq").run(AllToAll(payload), [None] * v)
+        bal = make_engine(cfg, "seq", balanced=True).run(AllToAll(payload), [None] * v)
+        for a, b in zip(direct.outputs, bal.outputs):
+            assert set(a) == set(b)
+            for src in a:
+                assert np.array_equal(a[src], b[src])

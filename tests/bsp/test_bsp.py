@@ -1,0 +1,142 @@
+"""Tests for the BSP/BSP* cost models and Section 5 conversions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bsp.conversion import (
+    bsp_star_message_floor,
+    c_optimality_preserved,
+    to_bsp_star,
+    to_em_bsp,
+)
+from repro.bsp.model import BSPCost, BSPStarCost, EMBSPCost, Superstep
+from repro.util.validation import ConfigurationError, ConstraintViolation
+
+
+def sample_bsp(v: int = 8, lam: int = 3, h: int = 4096, w: float = 1e5) -> BSPCost:
+    return BSPCost(v=v, supersteps=tuple(Superstep(w, h) for _ in range(lam)))
+
+
+class TestBSPModel:
+    def test_total_time(self):
+        cost = sample_bsp(lam=2, h=100, w=50.0)
+        # per superstep: 50 + max(L=10, g=2 * 100) = 250
+        assert cost.total_time(g=2.0, L=10.0) == pytest.approx(500.0)
+
+    def test_latency_floor(self):
+        cost = BSPCost(v=4, supersteps=(Superstep(0.0, 1),))
+        assert cost.total_time(g=1.0, L=1000.0) == 1000.0
+
+    def test_h_min_max(self):
+        cost = BSPCost(v=4, supersteps=(Superstep(0, 10), Superstep(0, 99)))
+        assert cost.h_min == 10 and cost.h_max == 99
+
+    def test_empty_profile(self):
+        cost = BSPCost(v=4)
+        assert cost.lam == 0
+        assert cost.total_time(1, 1) == 0.0
+
+
+class TestBSPStarModel:
+    def test_subblock_messages_penalized(self):
+        """BSP* charges a whole block per message: many tiny messages cost
+        more than one big one of the same total volume."""
+        star = BSPStarCost(v=4, b=64, supersteps=())
+        bulk = Superstep(0.0, h=640, messages_per_proc=1)
+        scattered = Superstep(0.0, h=640, messages_per_proc=640)  # 1-item msgs
+        assert star.comm_charge(scattered, g=1.0) > 10 * star.comm_charge(bulk, g=1.0)
+
+    def test_block_aligned_no_penalty(self):
+        star = BSPStarCost(v=4, b=64, supersteps=())
+        s = Superstep(0.0, h=640, messages_per_proc=10)  # 64-item messages
+        assert star.comm_charge(s, g=1.0) == pytest.approx(640.0)
+
+
+class TestConversionToBSPStar:
+    def test_message_floor_formula(self):
+        assert bsp_star_message_floor(h_min=1000, v=10) == 1000 // 10 - 9 // 2
+
+    def test_rounds_double(self):
+        cost = sample_bsp(lam=3)
+        star = to_bsp_star(cost)
+        assert star.lam == 6
+
+    def test_block_size_achievable(self):
+        cost = sample_bsp(v=8, h=4096)
+        star = to_bsp_star(cost)
+        assert star.b == bsp_star_message_floor(4096, 8)
+        assert all(s.min_message >= star.b for s in star.supersteps)
+
+    def test_excessive_block_request_rejected(self):
+        with pytest.raises(ConstraintViolation):
+            to_bsp_star(sample_bsp(v=8, h=4096), b=10**6)
+
+    def test_messages_become_v_per_proc(self):
+        star = to_bsp_star(sample_bsp(v=8))
+        assert all(s.messages_per_proc == 8 for s in star.supersteps)
+
+
+class TestConversionToEMBSP:
+    def test_superstep_blowup(self):
+        cost = sample_bsp(v=8, lam=2)
+        em = to_em_bsp(cost, p=2, D=2, B=64, mu_items=512)
+        assert len(em.supersteps) == 2 * (8 // 2)
+
+    def test_io_counted(self):
+        em = to_em_bsp(sample_bsp(v=4, lam=1, h=4096), p=1, D=2, B=64, mu_items=4096)
+        # per vproc: ctx 2*64 blocks + msg 2*64 blocks over 2 disks = 128 ops
+        assert em.total_ios == 4 * ((2 * 64) // 2 + (2 * 64) // 2)
+
+    def test_p_must_divide_v(self):
+        with pytest.raises(ConfigurationError):
+            to_em_bsp(sample_bsp(v=8), p=3, D=1, B=64, mu_items=100)
+
+    def test_total_time_includes_G(self):
+        em = to_em_bsp(sample_bsp(v=4, lam=1), p=1, D=1, B=64, mu_items=64)
+        t_cheap = em.total_time(g=0.0, G=1.0, L=0.0)
+        t_dear = em.total_time(g=0.0, G=100.0, L=0.0)
+        assert t_dear > t_cheap
+
+    def test_c_optimality_predicate(self):
+        cost = sample_bsp(v=8, lam=2, w=1e9)
+        em = to_em_bsp(cost, p=2, D=2, B=64, mu_items=512)
+        beta = sum(s.w_comp for s in cost.supersteps)
+        assert c_optimality_preserved(cost, em, beta, mu_items=512, g=1.0, G=100.0)
+        # a huge G (slow disks) breaks it
+        assert not c_optimality_preserved(
+            cost, em, beta=1e3, mu_items=512, g=1.0, G=1e12
+        )
+
+    def test_empty_profile_trivially_preserved(self):
+        cost = BSPCost(v=4)
+        em = to_em_bsp(cost, p=1, D=1, B=64, mu_items=10)
+        assert c_optimality_preserved(cost, em, beta=0.0, mu_items=10, g=1, G=1)
+
+
+class TestConversionToEMBSPStar:
+    def test_item3_pipeline(self):
+        """BSP -> BSP* -> EM-BSP*: the full Section 5 chain."""
+        from repro.bsp.conversion import blockwise_io_efficient, to_em_bsp_star
+
+        cost = sample_bsp(v=8, lam=2, h=8192)
+        star = to_bsp_star(cost)
+        em = to_em_bsp_star(star, p=2, D=2, B=64, mu_items=1024)
+        # rounds doubled by balancing, then x v/p by the simulation
+        assert len(em.supersteps) == (2 * 2) * (8 // 2)
+        assert em.total_ios > 0
+
+    def test_blockwise_io_efficiency_detection(self):
+        from repro.bsp.conversion import blockwise_io_efficient
+
+        cost = sample_bsp(v=8, h=8192)
+        star = to_bsp_star(cost)  # b = h/v - (v-1)/2 = 1021
+        assert blockwise_io_efficient(star, B=64)
+        assert not blockwise_io_efficient(star, B=4096)
+
+    def test_star_conversion_respects_p_divides_v(self):
+        from repro.bsp.conversion import to_em_bsp_star
+
+        star = to_bsp_star(sample_bsp(v=8))
+        with pytest.raises(ConfigurationError):
+            to_em_bsp_star(star, p=3, D=1, B=64, mu_items=128)

@@ -1,0 +1,90 @@
+"""Tests for the cache-memory extension (Section 5)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.cache.cache_sim import CacheSim, cache_log_term, tuned_vs_naive_traversal
+from repro.util.validation import ConfigurationError
+
+
+class TestCacheSim:
+    def test_sequential_scan_compulsory_misses_only(self):
+        c = CacheSim(M_I=1024, B_I=16)
+        c.access_range(0, 512)
+        assert c.misses == 512 // 16
+
+    def test_repeat_scan_hits_when_fits(self):
+        c = CacheSim(M_I=1024, B_I=16)
+        c.access_range(0, 512)
+        before = c.misses
+        c.access_range(0, 512)
+        assert c.misses == before
+
+    def test_cyclic_scan_thrashes_when_too_big(self):
+        c = CacheSim(M_I=256, B_I=16)  # 16 lines
+        for _ in range(3):
+            c.access_range(0, 512)  # 32 lines
+        assert c.misses == 3 * 32
+
+    def test_set_associativity_conflict_misses(self):
+        """Direct-mapped-ish cache: two lines mapping to the same set
+        evict each other even though the cache has room overall."""
+        c = CacheSim(M_I=64, B_I=8, n_sets=8)  # 1 way per set
+        a, b = 0, 8 * 8  # same set (line 0 and line 8, 8 sets)
+        for _ in range(4):
+            c.access(a)
+            c.access(b)
+        assert c.misses == 8
+
+    def test_fully_associative_no_conflicts(self):
+        c = CacheSim(M_I=64, B_I=8, n_sets=1)
+        a, b = 0, 64
+        for _ in range(4):
+            c.access(a)
+            c.access(b)
+        assert c.misses == 2
+
+    def test_access_indices_trace(self):
+        c = CacheSim(M_I=128, B_I=8)
+        misses = c.access_indices(np.array([0, 1, 2, 100, 101, 0]))
+        assert misses == 2
+
+    def test_miss_rate(self):
+        c = CacheSim(M_I=1024, B_I=16)
+        c.access_range(0, 16)
+        assert c.miss_rate == pytest.approx(1.0)
+        c.access_range(0, 16)
+        assert c.miss_rate == pytest.approx(0.5)
+
+    def test_bad_geometry(self):
+        with pytest.raises(ConfigurationError):
+            CacheSim(M_I=4, B_I=8)
+        with pytest.raises(ConfigurationError):
+            CacheSim(M_I=8, B_I=0)
+
+
+class TestCacheTheory:
+    def test_log_term_collapses_at_surface(self):
+        """(M_I/B_I)^c = N  =>  log term == c exactly."""
+        B_I, c = 8, 2.0
+        M_I = 8 * 64          # M_I/B_I = 64
+        N = int((M_I / B_I) ** c * B_I)  # so log_{64}(N/B_I) = 2
+        assert cache_log_term(N, M_I, B_I) == pytest.approx(c)
+
+    def test_log_term_grows_for_tiny_cache(self):
+        assert cache_log_term(1 << 24, 64, 16) > cache_log_term(1 << 24, 4096, 16)
+
+    def test_degenerate_cache_infinite(self):
+        assert math.isinf(cache_log_term(1024, 8, 8))
+
+    def test_tuned_beats_naive(self):
+        """The paper's suggestion: virtual-processor-sized working sets
+        control cache faults; a cache-oblivious interleaved sweep thrashes."""
+        out = tuned_vs_naive_traversal(N=1 << 15, M_I=1 << 10, B_I=16)
+        assert out["tuned"] < out["naive"] / 2
+        # tuned is within a small factor of compulsory misses
+        assert out["tuned"] <= 4 * out["compulsory"]

@@ -1,0 +1,63 @@
+"""Unit tests for the BSP-style cost accounting (CostReport/RoundMetrics)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cgm.metrics import CostReport, RoundMetrics
+from repro.pdm.io_stats import IOStats
+
+
+def io_with(parallel_ios: int) -> IOStats:
+    s = IOStats()
+    for _ in range(parallel_ios):
+        s.record(1, 0, [0], D=1)
+    return s
+
+
+class TestRoundMetrics:
+    def test_h_is_max_of_in_out(self):
+        m = RoundMetrics(0, h_in=10, h_out=25)
+        assert m.h == 25
+
+    def test_defaults(self):
+        m = RoundMetrics(3)
+        assert m.h == 0 and m.comp_wall_s == 0.0
+
+
+class TestCostReport:
+    def make(self) -> CostReport:
+        r = CostReport(engine="t")
+        r.add_round(RoundMetrics(0, h_in=5, h_out=8, comm_items=20, cross_items=12, comp_wall_s=0.5))
+        r.add_round(RoundMetrics(1, h_in=9, h_out=2, comm_items=10, cross_items=0, comp_wall_s=0.25))
+        r.supersteps = 4
+        r.io = io_with(100)
+        r.io_max = io_with(30)
+        return r
+
+    def test_aggregation(self):
+        r = self.make()
+        assert r.rounds == 2
+        assert r.comm_items == 30
+        assert r.cross_items == 12
+        assert r.h_history == [8, 9]
+        assert r.comp_wall_s == pytest.approx(0.75)
+
+    def test_modeled_time_components(self):
+        r = self.make()
+        assert r.t_comm(g=2.0) == pytest.approx(24.0)
+        assert r.t_sync(L=10.0) == pytest.approx(40.0)
+        # io_max takes precedence: disks on different processors overlap
+        assert r.t_io(G=1.5) == pytest.approx(45.0)
+        assert r.modeled_time(g=2.0, G=1.5, L=10.0) == pytest.approx(
+            0.75 + 24.0 + 45.0 + 40.0
+        )
+
+    def test_t_io_falls_back_to_total(self):
+        r = CostReport(engine="t")
+        r.io = io_with(7)
+        assert r.t_io(G=2.0) == pytest.approx(14.0)
+
+    def test_summary_mentions_key_counters(self):
+        text = self.make().summary()
+        assert "rounds=2" in text and "parallel_ios=100" in text

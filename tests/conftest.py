@@ -1,0 +1,30 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cgm.config import MachineConfig
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_cfg() -> MachineConfig:
+    """A machine comfortably inside every paper constraint."""
+    return MachineConfig(N=1 << 14, v=8, D=2, B=64)
+
+
+def all_engine_kinds() -> list[str]:
+    return ["memory", "seq", "vm", "par"]
+
+
+def cfg_for(kind: str, base: MachineConfig) -> MachineConfig:
+    """Adapt a config to an engine kind (par needs p > 1)."""
+    if kind == "par":
+        return base.with_(p=max(2, min(4, base.v)))
+    return base

@@ -1,0 +1,195 @@
+"""Deeper EM-engine behaviour: overflow handling, parity alternation over
+long runs, memory accounting, determinism, context-region reuse."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cgm.config import MachineConfig
+from repro.cgm.program import CGMProgram, Context, FunctionalProgram, RoundEnv
+from repro.em.runner import make_engine
+
+
+class BigMessages(CGMProgram):
+    """Sends messages far larger than the advertised slot (overflow path)."""
+
+    name = "big-messages"
+    kappa = 1.0
+
+    def max_message_items(self, cfg):
+        return 8  # lie: tiny slots
+
+    def setup(self, ctx, pid, cfg, local_input):
+        ctx["pid"] = pid
+        ctx["data"] = local_input
+
+    def round(self, r, ctx, env):
+        if r == 0:
+            env.send((ctx["pid"] + 1) % env.v, ctx["data"], tag="big")
+            return False
+        (m,) = env.messages(tag="big")
+        ctx["got"] = m.payload
+        return True
+
+    def finish(self, ctx):
+        return ctx["got"]
+
+
+class PingPong(CGMProgram):
+    """Many rounds: exercises the alternating message-matrix parity."""
+
+    name = "ping-pong"
+    kappa = 1.0
+
+    def __init__(self, rounds: int) -> None:
+        self.rounds = rounds
+
+    def setup(self, ctx, pid, cfg, local_input):
+        ctx["pid"] = pid
+        ctx["acc"] = np.zeros(16, dtype=np.int64)
+
+    def round(self, r, ctx, env):
+        for m in env.messages():
+            ctx["acc"] = ctx["acc"] + m.payload
+        if r < self.rounds:
+            env.send((ctx["pid"] + r) % env.v, np.full(16, r, dtype=np.int64))
+            return False
+        return True
+
+    def finish(self, ctx):
+        return ctx["acc"]
+
+
+class GrowingContext(CGMProgram):
+    """Context doubles every round: forces region reallocation on disk."""
+
+    name = "growing-context"
+    kappa = 1.0
+
+    def setup(self, ctx, pid, cfg, local_input):
+        ctx["pid"] = pid
+        ctx["blob"] = np.arange(8)
+
+    def round(self, r, ctx, env):
+        ctx["blob"] = np.concatenate([ctx["blob"], ctx["blob"]])
+        return r >= 5
+
+    def finish(self, ctx):
+        return ctx["blob"].size
+
+
+class TestOverflowPath:
+    @pytest.mark.parametrize("kind", ["seq", "par"])
+    def test_oversized_messages_survive(self, kind, rng):
+        v = 4
+        cfg = MachineConfig(N=1 << 12, v=v, p=2 if kind == "par" else 1, D=2, B=32)
+        inputs = [rng.integers(0, 2**40, 500) for _ in range(v)]
+        res = make_engine(cfg, kind).run(BigMessages(), list(inputs))
+        assert res.report.overflow_blocks > 0
+        for pid in range(v):
+            assert np.array_equal(res.outputs[pid], inputs[(pid - 1) % v])
+
+    def test_overflow_tracks_are_freed(self, rng):
+        cfg = MachineConfig(N=1 << 12, v=4, D=2, B=32)
+        eng = make_engine(cfg, "seq")
+        inputs = [rng.integers(0, 2**40, 500) for _ in range(4)]
+        eng.run(BigMessages(), list(inputs))
+        # after the run only contexts remain on disk; overflow regions freed
+        total_tracks = sum(a.tracks_in_use for a in eng.arrays)
+        ctx_blocks = sum(region[2] for region in eng._ctx_region.values())
+        assert total_tracks <= 2 * ctx_blocks + 8
+
+
+class TestLongRuns:
+    @pytest.mark.parametrize("kind", ["seq", "par"])
+    def test_parity_alternation_many_rounds(self, kind):
+        v = 4
+        cfg = MachineConfig(N=1 << 12, v=v, p=2 if kind == "par" else 1, D=2, B=32)
+        res = make_engine(cfg, kind).run(PingPong(rounds=21), [None] * v)
+        ref = make_engine(cfg.with_(p=cfg.p), "memory").run(PingPong(rounds=21), [None] * v)
+        for a, b in zip(res.outputs, ref.outputs):
+            assert np.array_equal(a, b)
+
+    def test_growing_contexts_reallocate(self):
+        cfg = MachineConfig(N=1 << 12, v=4, D=2, B=32)
+        eng = make_engine(cfg, "seq")
+        res = eng.run(GrowingContext(), [None] * 4)
+        assert res.outputs == [8 * 2**6] * 4
+        assert res.report.context_blocks_io > 0
+
+
+class TestMemoryAccounting:
+    def test_peak_memory_reported(self, rng):
+        cfg = MachineConfig(N=1 << 13, v=8, D=2, B=64)
+        from repro.em.runner import em_sort
+
+        res = em_sort(rng.integers(0, 2**40, 1 << 13), cfg, engine="seq")
+        peak = res.report.peak_memory_items
+        # one virtual processor's context + inbox + outbox (with block
+        # padding), i.e. Theta(mu) with a modest constant — not Theta(N*v)
+        assert cfg.mu <= peak <= 16 * cfg.mu
+
+    def test_memory_scales_with_v(self, rng):
+        """More virtual processors -> smaller contexts -> smaller peak."""
+        from repro.em.runner import em_sort
+
+        n = 1 << 14
+        data = rng.integers(0, 2**40, n)
+        peaks = {}
+        for v in (4, 16):
+            res = em_sort(data, MachineConfig(N=n, v=v, D=2, B=64), engine="seq")
+            peaks[v] = res.report.peak_memory_items
+        assert peaks[16] < peaks[4]
+
+
+class TestDeterminism:
+    def test_identical_runs_identical_reports(self, rng):
+        from repro.em.runner import em_sort
+
+        data = rng.integers(0, 2**40, 1 << 13)
+        cfg = MachineConfig(N=data.size, v=8, D=2, B=64, seed=99)
+        a = em_sort(data, cfg, engine="seq")
+        b = em_sort(data, cfg, engine="seq")
+        assert a.report.io.parallel_ios == b.report.io.parallel_ios
+        assert a.report.h_history == b.report.h_history
+        assert np.array_equal(a.values, b.values)
+
+    def test_engines_agree_on_randomized_program(self):
+        """Same cfg.seed -> same coins on every backend (list ranking)."""
+        from repro.algorithms.graphs import list_rank
+
+        n = 300
+        order = np.random.default_rng(5).permutation(n)
+        succ = np.full(n, -1, dtype=np.int64)
+        for a, b in zip(order[:-1], order[1:]):
+            succ[a] = b
+        cfg = MachineConfig(N=n, v=4, B=16, seed=7)
+        runs = [list_rank(succ, cfg, engine=k) for k in ("memory", "seq", "vm")]
+        assert runs[0].total_rounds == runs[1].total_rounds == runs[2].total_rounds
+
+
+class TestMixedTraffic:
+    def test_mixed_tags_and_multiple_messages_per_pair(self):
+        def r0(ctx, env):
+            env.send((env.pid + 1) % env.v, "a", tag="x")
+            env.send((env.pid + 1) % env.v, np.arange(40), tag="y")
+            env.send((env.pid + 1) % env.v, {"k": env.pid}, tag="x")
+
+        def r1(ctx, env):
+            xs = env.messages(tag="x")
+            ys = env.messages(tag="y")
+            ctx["n_x"] = len(xs)
+            ctx["n_y"] = len(ys)
+            ctx["sum"] = int(ys[0].payload.sum())
+
+        prog = FunctionalProgram(
+            setup=lambda ctx, pid, cfg, inp: None,
+            rounds=[r0, r1],
+            finish=lambda ctx: (ctx["n_x"], ctx["n_y"], ctx["sum"]),
+            name="mixed-tags",
+        )
+        for kind in ("memory", "seq", "vm"):
+            cfg = MachineConfig(N=1 << 10, v=4, D=2, B=16)
+            res = make_engine(cfg, kind).run(prog, [None] * 4)
+            assert res.outputs == [(2, 1, 780)] * 4, kind

@@ -1,0 +1,122 @@
+"""Tests for the Definition 1 optimality predicates."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cgm.metrics import CostReport
+from repro.core.optimality import (
+    OptimalityAssessment,
+    assess,
+    sequential_linear_time,
+    sequential_sort_time,
+    trend,
+)
+from repro.pdm.io_stats import IOStats
+
+
+def report_with(comp: float, cross: int, ios: int) -> CostReport:
+    r = CostReport(engine="test")
+    r.comp_wall_s = comp
+    r.cross_items = cross
+    io = IOStats()
+    for _ in range(ios):
+        io.record(1, 0, [0], D=1)
+    r.io = io
+    r.io_max = io
+    return r
+
+
+class TestAssess:
+    def test_ratios(self):
+        rep = report_with(comp=2.0, cross=100, ios=10)
+        a = assess(rep, seq_time=4.0, p=2, g=0.001, G=0.01)
+        assert a.phi == pytest.approx(1.0)
+        assert a.xi == pytest.approx(0.1 / 2.0)
+        assert a.eta == pytest.approx(0.1 / 2.0)
+
+    def test_c_optimal_when_overheads_small(self):
+        rep = report_with(comp=1.0, cross=10, ios=1)
+        a = assess(rep, seq_time=1.0, p=1, g=1e-6, G=1e-6)
+        assert a.is_c_optimal(c=1.0)
+        assert a.is_work_optimal()
+        assert a.is_io_efficient()
+        assert a.is_communication_efficient()
+
+    def test_not_c_optimal_when_io_dominates(self):
+        rep = report_with(comp=1.0, cross=0, ios=10_000)
+        a = assess(rep, seq_time=1.0, p=1, g=0.0, G=1.0)
+        assert not a.is_c_optimal(c=1.0)
+        assert not a.is_io_efficient()
+
+    def test_bad_seq_time(self):
+        with pytest.raises(ValueError):
+            assess(report_with(1, 1, 1), seq_time=0.0, p=1, g=1, G=1)
+
+
+class TestTrend:
+    def test_flat_ratio_zero_exponent(self):
+        assert trend([10, 100, 1000], [2.0, 2.0, 2.0]) == pytest.approx(0.0)
+
+    def test_decreasing_ratio_negative(self):
+        Ns = [10, 100, 1000]
+        assert trend(Ns, [1.0, 0.1, 0.01]) < -0.5
+
+    def test_growing_ratio_positive(self):
+        assert trend([10, 100], [1.0, 10.0]) > 0.5
+
+    def test_requires_two_points(self):
+        with pytest.raises(ValueError):
+            trend([10], [1.0])
+
+
+class TestSequentialReferences:
+    def test_sort_time_superlinear(self):
+        assert sequential_sort_time(2_000_000) > 2 * sequential_sort_time(1_000_000)
+
+    def test_linear_time(self):
+        assert sequential_linear_time(2_000_000) == pytest.approx(
+            2 * sequential_linear_time(1_000_000)
+        )
+
+
+class TestDefinitionOneOnRealRuns:
+    """Empirical Definition 1: run the EM-CGM sort across an N sweep and
+    check that the I/O and communication ratios do not grow with N —
+    the o(1)/O(1) signature the paper's optimality notions demand."""
+
+    def test_io_efficiency_trend_flat(self):
+        import numpy as np
+
+        from repro.cgm.config import MachineConfig
+        from repro.em.runner import em_sort
+
+        Ns = [1 << 12, 1 << 14, 1 << 16]
+        etas = []
+        G = 50.0  # items of computation per parallel I/O
+        for n in Ns:
+            data = np.random.default_rng(n).integers(0, 2**40, n)
+            cfg = MachineConfig(N=n, v=8, D=2, B=64)
+            res = em_sort(data, cfg, engine="seq")
+            t_seq = sequential_sort_time(n, per_item_s=1.0)  # item-ops units
+            eta = res.report.io.parallel_ios * G / t_seq
+            etas.append(eta)
+        alpha = trend(Ns, etas)
+        assert alpha < 0.1, f"I/O ratio grows with N (alpha={alpha:.3f})"
+
+    def test_communication_efficiency_trend_flat(self):
+        import numpy as np
+
+        from repro.cgm.config import MachineConfig
+        from repro.em.runner import em_sort
+
+        Ns = [1 << 12, 1 << 14, 1 << 16]
+        xis = []
+        for n in Ns:
+            data = np.random.default_rng(n).integers(0, 2**40, n)
+            cfg = MachineConfig(N=n, v=8, p=4, D=2, B=64)
+            res = em_sort(data, cfg, engine="par")
+            t_seq = sequential_sort_time(n, per_item_s=1.0)
+            xis.append(res.report.cross_items / t_seq)
+        alpha = trend(Ns, xis)
+        assert alpha < 0.1, f"comm ratio grows with N (alpha={alpha:.3f})"

@@ -1,0 +1,218 @@
+"""Tests for point-based Group B algorithms: 3D maxima, all-nearest-
+neighbours, weighted dominance counting, convex hulls, Delaunay."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy.spatial import ConvexHull, Delaunay, cKDTree
+
+import repro.algorithms.geometry as geo
+from repro.algorithms.geometry.dominance import dominance_reference
+from repro.algorithms.geometry.maxima import maxima_3d_reference
+from repro.algorithms.geometry.slabs import Staircase2D, local_maxima_sweep
+from repro.cgm.config import MachineConfig
+
+from tests.conftest import all_engine_kinds, cfg_for
+
+
+def geo_cfg(v: int = 4) -> MachineConfig:
+    return MachineConfig(N=4000, v=v, B=32)
+
+
+class TestStaircase:
+    def test_insert_and_dominate(self):
+        s = Staircase2D()
+        s.insert(1.0, 5.0)
+        s.insert(3.0, 2.0)
+        assert s.dominates(0.5, 4.0)      # (1, 5) dominates
+        assert s.dominates(2.0, 1.0)      # (3, 2) dominates
+        assert not s.dominates(2.0, 3.0)  # nothing has y>=2 and z>=3
+        assert not s.dominates(4.0, 1.0)
+
+    def test_insert_evicts_dominated(self):
+        s = Staircase2D()
+        s.insert(1.0, 1.0)
+        s.insert(2.0, 2.0)  # dominates (1,1)
+        assert s.ys == [2.0]
+        assert s.zs == [2.0]
+
+    def test_local_sweep_matches_bruteforce(self, rng):
+        pts = rng.random((200, 3))
+        got = local_maxima_sweep(pts)
+        assert np.array_equal(got, maxima_3d_reference(pts))
+
+
+class TestMaxima3D:
+    @pytest.mark.parametrize("kind", all_engine_kinds())
+    def test_engines_match_reference(self, kind, rng):
+        pts = rng.random((400, 3))
+        cfg = cfg_for(kind, geo_cfg())
+        res = geo.maxima_3d(pts, cfg, engine=kind)
+        assert np.array_equal(res.values, maxima_3d_reference(pts))
+
+    def test_diagonal_points_all_maximal_except_dominated(self, rng):
+        pts = np.column_stack([np.arange(50)] * 3).astype(float)
+        pts += rng.normal(scale=1e-6, size=pts.shape)
+        res = geo.maxima_3d(pts, geo_cfg(), engine="memory")
+        assert len(res.values) == 1  # strictly increasing diagonal: top wins
+
+    def test_anti_correlated_plane_many_maxima(self, rng):
+        n = 300
+        x = rng.random(n)
+        y = rng.random(n)
+        z = 2.0 - x - y + rng.normal(scale=1e-9, size=n)
+        pts = np.column_stack((x, y, z))
+        res = geo.maxima_3d(pts, geo_cfg(), engine="memory")
+        assert np.array_equal(res.values, maxima_3d_reference(pts))
+        assert len(res.values) > n // 4  # near-Pareto surface
+
+    @settings(max_examples=8, deadline=None)
+    @given(seed=st.integers(0, 1000), v=st.sampled_from([2, 4, 8]))
+    def test_maxima_property(self, seed, v):
+        pts = np.random.default_rng(seed).random((150, 3))
+        res = geo.maxima_3d(pts, geo_cfg(v), engine="memory")
+        assert np.array_equal(res.values, maxima_3d_reference(pts))
+
+
+class TestAllNearestNeighbors:
+    @pytest.mark.parametrize("kind", all_engine_kinds())
+    def test_engines_match_kdtree(self, kind, rng):
+        pts = rng.random((300, 2))
+        cfg = cfg_for(kind, geo_cfg())
+        res = geo.all_nearest_neighbors(pts, cfg, engine=kind)
+        d, i = cKDTree(pts).query(pts, k=2)
+        assert np.allclose(res.values["dist"], d[:, 1])
+        assert np.array_equal(res.values["nn"], i[:, 1])
+
+    def test_clustered_input_cross_slab_neighbours(self, rng):
+        """Two tight clusters on either side of a slab boundary: the NN
+        must be found across slabs."""
+        left = rng.normal([0.49, 0.5], 0.001, (50, 2))
+        right = rng.normal([0.51, 0.5], 0.001, (50, 2))
+        spread = rng.random((100, 2)) * np.array([10, 1])
+        pts = np.vstack([left, right, spread])
+        res = geo.all_nearest_neighbors(pts, geo_cfg(), engine="memory")
+        d, i = cKDTree(pts).query(pts, k=2)
+        assert np.allclose(res.values["dist"], d[:, 1])
+
+    def test_collinear_points(self):
+        pts = np.column_stack((np.arange(40, dtype=float), np.zeros(40)))
+        res = geo.all_nearest_neighbors(pts, geo_cfg(), engine="memory")
+        assert np.allclose(res.values["dist"], 1.0)
+
+    @settings(max_examples=8, deadline=None)
+    @given(seed=st.integers(0, 1000), v=st.sampled_from([2, 4, 8]))
+    def test_nn_property(self, seed, v):
+        pts = np.random.default_rng(seed).random((120, 2))
+        res = geo.all_nearest_neighbors(pts, geo_cfg(v), engine="memory")
+        d, _ = cKDTree(pts).query(pts, k=2)
+        assert np.allclose(res.values["dist"], d[:, 1])
+
+
+class TestDominance:
+    @pytest.mark.parametrize("kind", all_engine_kinds())
+    def test_engines_match_bruteforce(self, kind, rng):
+        pts = rng.random((250, 2))
+        w = rng.random(250)
+        cfg = cfg_for(kind, geo_cfg())
+        res = geo.dominance_counts(pts, w, cfg, engine=kind)
+        assert np.allclose(res.values, dominance_reference(pts, w))
+
+    def test_unit_weights_are_counts(self, rng):
+        pts = rng.random((200, 2))
+        res = geo.dominance_counts(pts, np.ones(200), geo_cfg(), engine="memory")
+        ref = dominance_reference(pts, np.ones(200))
+        assert np.allclose(res.values, ref)
+        assert res.values.min() == 0  # the lexicographic minimum dominates nobody
+
+    def test_sorted_staircase_input(self):
+        pts = np.column_stack((np.arange(64, dtype=float), np.arange(64, dtype=float)))
+        pts += np.random.default_rng(0).normal(scale=1e-9, size=pts.shape)
+        res = geo.dominance_counts(pts, np.ones(64), geo_cfg(), engine="memory")
+        assert np.allclose(np.sort(res.values), np.arange(64))
+
+    @settings(max_examples=8, deadline=None)
+    @given(seed=st.integers(0, 1000), v=st.sampled_from([2, 4, 8]))
+    def test_dominance_property(self, seed, v):
+        rng = np.random.default_rng(seed)
+        pts = rng.random((130, 2))
+        w = rng.random(130)
+        res = geo.dominance_counts(pts, w, geo_cfg(v), engine="memory")
+        assert np.allclose(res.values, dominance_reference(pts, w))
+
+
+class TestConvexHull:
+    @pytest.mark.parametrize("kind", all_engine_kinds())
+    def test_hull_2d(self, kind, rng):
+        pts = rng.random((500, 2))
+        cfg = cfg_for(kind, geo_cfg())
+        res = geo.convex_hull_2d(pts, cfg, engine=kind)
+        assert np.array_equal(res.values, np.sort(ConvexHull(pts).vertices))
+
+    def test_hull_3d(self, rng):
+        pts = rng.random((500, 3))
+        res = geo.convex_hull_3d(pts, geo_cfg(), engine="memory")
+        assert np.array_equal(res.values, np.sort(ConvexHull(pts).vertices))
+
+    def test_hull_points_on_circle_all_extreme(self):
+        t = np.linspace(0, 2 * np.pi, 64, endpoint=False)
+        pts = np.column_stack((np.cos(t), np.sin(t)))
+        res = geo.convex_hull_2d(pts, geo_cfg(), engine="memory")
+        assert np.array_equal(res.values, np.arange(64))
+
+    def test_hull_filter_shrinks_communication(self, rng):
+        """The local filter must send far fewer points than N."""
+        pts = rng.normal(size=(2000, 2))
+        res = geo.convex_hull_2d(pts, geo_cfg(), engine="memory")
+        assert res.reports[0].comm_items < 2000
+
+    def test_gaussian_cloud_3d(self, rng):
+        pts = rng.normal(size=(800, 3))
+        res = geo.convex_hull_3d(pts, geo_cfg(), engine="memory")
+        assert np.array_equal(res.values, np.sort(ConvexHull(pts).vertices))
+
+
+class TestDelaunay:
+    @pytest.mark.parametrize("kind", ["memory", "seq"])
+    def test_exact_triangulation(self, kind, rng):
+        pts = rng.random((600, 2))
+        cfg = cfg_for(kind, geo_cfg())
+        res = geo.delaunay_2d(pts, cfg, engine=kind)
+        ref = {tuple(sorted(map(int, t))) for t in Delaunay(pts).simplices}
+        assert {tuple(t) for t in res.values} == ref
+
+    def test_no_fallback_on_uniform_points(self, rng):
+        pts = rng.random((800, 2))
+        res = geo.delaunay_2d(pts, geo_cfg(), engine="memory")
+        assert not res.extra["fallback"]
+
+    def test_fallback_still_exact_with_tiny_strips(self, rng):
+        pts = rng.random((400, 2))
+        res = geo.delaunay_2d(pts, geo_cfg(), engine="memory", strip_factor=0.2)
+        ref = {tuple(sorted(map(int, t))) for t in Delaunay(pts).simplices}
+        assert {tuple(t) for t in res.values} == ref
+
+    def test_clustered_points(self, rng):
+        a = rng.normal([0, 0], 0.05, (150, 2))
+        b = rng.normal([3, 1], 0.05, (150, 2))
+        pts = np.vstack([a, b])
+        res = geo.delaunay_2d(pts, geo_cfg(), engine="memory")
+        ref = {tuple(sorted(map(int, t))) for t in Delaunay(pts).simplices}
+        assert {tuple(t) for t in res.values} == ref
+
+    def test_euler_relation(self, rng):
+        pts = rng.random((300, 2))
+        res = geo.delaunay_2d(pts, geo_cfg(), engine="memory")
+        h = len(ConvexHull(pts).vertices)
+        assert len(res.values) == 2 * 300 - 2 - h
+
+    @settings(max_examples=6, deadline=None)
+    @given(seed=st.integers(0, 500), v=st.sampled_from([2, 4, 8]))
+    def test_delaunay_property(self, seed, v):
+        pts = np.random.default_rng(seed).random((250, 2))
+        res = geo.delaunay_2d(pts, geo_cfg(v), engine="memory")
+        ref = {tuple(sorted(map(int, t))) for t in Delaunay(pts).simplices}
+        assert {tuple(t) for t in res.values} == ref

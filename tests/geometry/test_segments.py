@@ -1,0 +1,235 @@
+"""Tests for segment/rectangle Group B algorithms: lower envelope, union
+area, trapezoidal decomposition, point location, segment tree stabbing,
+and separability."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.algorithms.geometry as geo
+from repro.algorithms.geometry.envelope import lower_envelope_reference, segment_y_at
+from repro.algorithms.geometry.segtree import SegmentTree, stabbing_reference
+from repro.algorithms.geometry.trapezoid import point_location_reference
+from repro.algorithms.geometry.measure import union_area_sweep
+from repro.cgm.config import MachineConfig
+
+from tests.conftest import all_engine_kinds, cfg_for
+
+
+def geo_cfg(v: int = 4) -> MachineConfig:
+    return MachineConfig(N=4000, v=v, B=32)
+
+
+def nearly_horizontal_segments(rng, n: int, span: float = 10.0) -> np.ndarray:
+    """Non-crossing-ish random segments (distinct y levels, small slope)."""
+    segs = []
+    levels = np.linspace(0, span, n) + rng.uniform(-0.01, 0.01, n)
+    for k in range(n):
+        x1 = rng.uniform(0, span)
+        x2 = x1 + rng.uniform(0.5, 3.0)
+        y = levels[k]
+        segs.append((x1, y, x2, y + rng.uniform(-0.005, 0.005)))
+    return np.array(segs)
+
+
+class TestLowerEnvelope:
+    @pytest.mark.parametrize("kind", ["memory", "seq"])
+    def test_pieces_match_reference(self, kind, rng):
+        segs = nearly_horizontal_segments(rng, 50)
+        cfg = cfg_for(kind, geo_cfg())
+        res = geo.lower_envelope(segs, cfg, engine=kind)
+        segs_id = np.column_stack((segs, np.arange(len(segs))))
+        for x0, x1, sid in res.values:
+            mid = np.array([(x0 + x1) / 2])
+            assert lower_envelope_reference(segs_id, mid)[0] == int(sid)
+
+    def test_pieces_are_disjoint_and_sorted(self, rng):
+        segs = nearly_horizontal_segments(rng, 40)
+        res = geo.lower_envelope(segs, geo_cfg(), engine="memory")
+        p = res.values
+        assert (np.diff(p[:, 0]) >= -1e-12).all()
+        assert (p[:, 1] >= p[:, 0]).all()
+        for a, b in zip(p[:-1], p[1:]):
+            assert a[1] <= b[0] + 1e-9
+
+    def test_single_segment(self):
+        segs = np.array([[0.0, 1.0, 5.0, 1.0]])
+        res = geo.lower_envelope(segs, geo_cfg(), engine="memory")
+        covered = res.values[res.values[:, 2] >= 0]
+        assert covered.shape[0] >= 1
+        assert covered[0][2] == 0
+
+    def test_gap_between_segments_marked_uncovered(self):
+        segs = np.array([[0.0, 1.0, 1.0, 1.0], [3.0, 1.0, 4.0, 1.0]])
+        res = geo.lower_envelope(segs, MachineConfig(N=100, v=2, B=8), engine="memory")
+        gaps = res.values[res.values[:, 2] < 0]
+        assert any(abs(g[0] - 1.0) < 1e-9 and abs(g[1] - 3.0) < 1e-9 for g in gaps)
+
+
+class TestUnionArea:
+    @pytest.mark.parametrize("kind", all_engine_kinds())
+    def test_matches_sequential_sweep(self, kind, rng):
+        rects = []
+        for _ in range(60):
+            x1, y1 = rng.uniform(0, 8, 2)
+            rects.append((x1, y1, x1 + rng.uniform(0.2, 2), y1 + rng.uniform(0.2, 2)))
+        rects = np.array(rects)
+        cfg = cfg_for(kind, geo_cfg())
+        res = geo.union_area(rects, cfg, engine=kind)
+        assert res.values == pytest.approx(union_area_sweep(rects))
+
+    def test_disjoint_rectangles_sum(self):
+        rects = np.array([[0, 0, 1, 1], [2, 0, 3, 2], [5, 5, 6, 6]], dtype=float)
+        res = geo.union_area(rects, geo_cfg(), engine="memory")
+        assert res.values == pytest.approx(1 + 2 + 1)
+
+    def test_nested_rectangles(self):
+        rects = np.array([[0, 0, 4, 4], [1, 1, 2, 2]], dtype=float)
+        res = geo.union_area(rects, geo_cfg(), engine="memory")
+        assert res.values == pytest.approx(16.0)
+
+    def test_identical_rectangles(self):
+        rects = np.array([[0, 0, 2, 3]] * 5, dtype=float)
+        res = geo.union_area(rects, geo_cfg(), engine="memory")
+        assert res.values == pytest.approx(6.0)
+
+    @settings(max_examples=8, deadline=None)
+    @given(seed=st.integers(0, 1000), v=st.sampled_from([2, 4, 8]))
+    def test_union_area_property(self, seed, v):
+        rng = np.random.default_rng(seed)
+        rects = []
+        for _ in range(40):
+            x1, y1 = rng.uniform(0, 5, 2)
+            rects.append((x1, y1, x1 + rng.uniform(0.1, 2), y1 + rng.uniform(0.1, 2)))
+        rects = np.array(rects)
+        res = geo.union_area(rects, geo_cfg(v), engine="memory")
+        assert res.values == pytest.approx(union_area_sweep(rects))
+
+    def test_sweep_reference_basics(self):
+        assert union_area_sweep(np.zeros((0, 4))) == 0.0
+        assert union_area_sweep(np.array([[0, 0, 1, 1], [0.5, 0, 1.5, 1]])) == pytest.approx(1.5)
+
+
+class TestTrapezoids:
+    def test_every_trapezoid_is_vertically_adjacent_pair(self, rng):
+        segs = nearly_horizontal_segments(rng, 30)
+        segs_id = np.column_stack((segs, np.arange(len(segs))))
+        res = geo.trapezoidal_decomposition(segs, geo_cfg(), engine="memory")
+        for x0, x1, below, above in res.values:
+            mid = np.array([(x0 + x1) / 2])
+            ys = segment_y_at(segs_id, mid)[:, 0]
+            covering = np.isfinite(ys)
+            stack = segs_id[covering][np.argsort(ys[covering])][:, 4].astype(int).tolist()
+            walls = [-1] + stack + [-1]
+            assert (int(below), int(above)) in list(zip(walls[:-1], walls[1:]))
+
+    def test_single_segment_three_trapezoids(self):
+        segs = np.array([[0.0, 1.0, 2.0, 1.0]])
+        res = geo.trapezoidal_decomposition(segs, MachineConfig(N=64, v=2, B=8), engine="memory")
+        pairs = {(int(b), int(a)) for _x0, _x1, b, a in res.values}
+        assert (-1, 0) in pairs and (0, -1) in pairs
+
+    def test_trapezoid_count_linear(self, rng):
+        segs = nearly_horizontal_segments(rng, 40)
+        res = geo.trapezoidal_decomposition(segs, geo_cfg(), engine="memory")
+        # O(n) trapezoids per slab boundary structure: generous linear cap
+        assert res.values.shape[0] <= 30 * len(segs)
+
+
+class TestPointLocation:
+    @pytest.mark.parametrize("kind", ["memory", "seq"])
+    def test_matches_bruteforce(self, kind, rng):
+        segs = nearly_horizontal_segments(rng, 40)
+        qs = rng.uniform(0, 10, (80, 2))
+        cfg = cfg_for(kind, geo_cfg())
+        res = geo.point_location(segs, qs, cfg, engine=kind)
+        segs_id = np.column_stack((segs, np.arange(len(segs))))
+        qrows = np.column_stack((qs, np.arange(len(qs))))
+        assert np.array_equal(res.values, point_location_reference(segs_id, qrows))
+
+    def test_query_below_everything(self):
+        segs = np.array([[0.0, 5.0, 10.0, 5.0]])
+        qs = np.array([[5.0, 1.0]])
+        res = geo.point_location(segs, qs, geo_cfg(), engine="memory")
+        assert res.values[0] == -1
+
+    def test_query_above_segment(self):
+        segs = np.array([[0.0, 5.0, 10.0, 5.0]])
+        qs = np.array([[5.0, 7.0]])
+        res = geo.point_location(segs, qs, geo_cfg(), engine="memory")
+        assert res.values[0] == 0
+
+
+class TestSegmentTree:
+    def test_sequential_tree_matches_bruteforce(self, rng):
+        ivals = np.sort(rng.uniform(0, 10, (50, 2)), axis=1)
+        rows = np.column_stack((ivals, np.arange(50)))
+        tree = SegmentTree(rows)
+        for x in rng.uniform(-1, 11, 60):
+            assert tree.stab(float(x)) == stabbing_reference(rows, [x])[0]
+
+    def test_stab_outside_range_empty(self):
+        tree = SegmentTree(np.array([[1.0, 2.0, 0.0]]))
+        assert tree.stab(0.5) == []
+        assert tree.stab(2.5) == []
+        assert tree.stab(1.5) == [0]
+
+    def test_empty_tree(self):
+        tree = SegmentTree(np.zeros((0, 3)))
+        assert tree.stab(1.0) == []
+
+    @pytest.mark.parametrize("kind", ["memory", "seq"])
+    def test_distributed_stabbing(self, kind, rng):
+        ivals = np.sort(rng.uniform(0, 10, (60, 2)), axis=1)
+        xs = rng.uniform(0, 10, 40)
+        cfg = cfg_for(kind, geo_cfg())
+        res = geo.stabbing_queries(ivals, xs, cfg, engine=kind)
+        rows = np.column_stack((ivals, np.arange(60)))
+        assert res.values == stabbing_reference(rows, xs)
+
+    def test_nested_intervals(self):
+        ivals = np.array([[0, 10], [1, 9], [2, 8], [3, 7]], dtype=float)
+        res = geo.stabbing_queries(ivals, np.array([5.0]), geo_cfg(), engine="memory")
+        assert res.values[0] == [0, 1, 2, 3]
+
+
+class TestSeparability:
+    def test_unidirectional_separable(self, rng):
+        A = rng.random((100, 2))
+        B = rng.random((100, 2)) + np.array([5.0, 0.0])
+        res = geo.unidirectional_separable(A, B, (1, 0), geo_cfg(), engine="memory")
+        assert res.values is True
+        assert res.extra["gap"] > 3.5
+
+    def test_unidirectional_not_separable_in_y(self, rng):
+        A = rng.random((100, 2))
+        B = rng.random((100, 2)) + np.array([5.0, 0.0])
+        res = geo.unidirectional_separable(A, B, (0, 1), geo_cfg(), engine="memory")
+        assert res.values is False
+
+    def test_multidirectional_witness_actually_separates(self, rng):
+        A = rng.random((150, 2))
+        B = rng.random((150, 2)) + np.array([2.0, 2.0])
+        res = geo.separability_directions(A, B, geo_cfg(), engine="memory")
+        assert res.values is True
+        d = res.extra["witness"]
+        assert (A @ d).max() < (B @ d).min()
+
+    def test_overlapping_sets_not_separable(self, rng):
+        A = rng.random((150, 2))
+        B = rng.random((150, 2)) + np.array([0.2, 0.0])
+        res = geo.separability_directions(A, B, geo_cfg(), engine="memory")
+        assert res.values is False
+
+    def test_arc_directions_all_separate(self, rng):
+        A = rng.random((80, 2))
+        B = rng.random((80, 2)) + np.array([4.0, 0.0])
+        res = geo.separability_directions(A, B, geo_cfg(), engine="memory")
+        lo, hi = res.extra["arc"]
+        for t in np.linspace(lo, hi, 7):
+            d = np.array([np.cos(t), np.sin(t)])
+            # d points from B toward A: A-side support negative on A-B
+            assert (A @ d).max() < (B @ d).min() + 1e-9

@@ -1,0 +1,113 @@
+"""Tests for polygon triangulation (Group B row 1 local routines)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.geometry.triangulation import (
+    is_ccw,
+    polygon_area,
+    triangulate_monotone,
+    triangulate_polygon,
+    triangulation_is_valid,
+)
+from repro.util.validation import ConfigurationError
+
+
+def star_polygon(n: int, seed: int) -> np.ndarray:
+    """Simple star-shaped polygon: evenly spread angles (jittered) keep
+    every angular gap below pi, so the origin stays in the kernel."""
+    rng = np.random.default_rng(seed)
+    ang = 2 * np.pi * (np.arange(n) + rng.uniform(0, 0.9, n)) / n
+    rad = rng.uniform(1, 3, n)
+    return np.column_stack((rad * np.cos(ang), rad * np.sin(ang)))
+
+
+def monotone_polygon(n: int, seed: int) -> np.ndarray:
+    """Simple y-monotone polygon: apex/bottom at x=0, chains left/right."""
+    rng = np.random.default_rng(seed)
+    ys = np.sort(rng.uniform(1, 9, n - 2))[::-1]
+    side = rng.random(n - 2) < 0.5
+    left = [(-(1 + rng.uniform(0, 3)), y) for y, s in zip(ys, side) if s]
+    right = [((1 + rng.uniform(0, 3)), y) for y, s in zip(ys, side) if not s]
+    return np.array([(0.0, 10.0)] + left + [(0.0, 0.0)] + right[::-1])
+
+
+class TestHelpers:
+    def test_area_square(self):
+        sq = np.array([[0, 0], [1, 0], [1, 1], [0, 1]], dtype=float)
+        assert polygon_area(sq) == pytest.approx(1.0)
+        assert is_ccw(sq)
+        assert polygon_area(sq[::-1]) == pytest.approx(-1.0)
+
+    def test_validity_checker_rejects_bad(self):
+        sq = np.array([[0, 0], [1, 0], [1, 1], [0, 1]], dtype=float)
+        good = np.array([[0, 1, 2], [0, 2, 3]])
+        assert triangulation_is_valid(sq, good)
+        assert not triangulation_is_valid(sq, good[:1])            # too few
+        bad = np.array([[0, 1, 2], [0, 1, 2]])                     # overlap
+        assert not triangulation_is_valid(sq, bad)
+
+
+class TestEarClipping:
+    def test_triangle(self):
+        tri = np.array([[0, 0], [1, 0], [0, 1]], dtype=float)
+        out = triangulate_polygon(tri)
+        assert out.shape == (1, 3)
+
+    def test_square_both_orientations(self):
+        sq = np.array([[0, 0], [1, 0], [1, 1], [0, 1]], dtype=float)
+        assert triangulation_is_valid(sq, triangulate_polygon(sq))
+        assert triangulation_is_valid(sq[::-1], triangulate_polygon(sq[::-1]))
+
+    def test_comb_nonconvex(self):
+        comb = np.array(
+            [[0, 0], [10, 0], [10, 5], [8, 1], [6, 5], [4, 1], [2, 5], [0, 5]],
+            dtype=float,
+        )
+        assert triangulation_is_valid(comb, triangulate_polygon(comb))
+
+    def test_spiral(self):
+        spiral = np.array(
+            [[0, 0], [6, 0], [6, 6], [1, 6], [1, 2], [4, 2], [4, 4], [2.5, 4],
+             [2.5, 3], [3.2, 3], [3.2, 3.4], [2, 3.4], [2, 5], [5, 5], [5, 1],
+             [0, 1]],
+            dtype=float,
+        )
+        assert triangulation_is_valid(spiral, triangulate_polygon(spiral))
+
+    def test_too_few_vertices(self):
+        with pytest.raises(ConfigurationError):
+            triangulate_polygon(np.array([[0, 0], [1, 1]], dtype=float))
+
+    @settings(max_examples=30, deadline=None)
+    @given(n=st.integers(4, 40), seed=st.integers(0, 10_000))
+    def test_star_polygons_property(self, n, seed):
+        poly = star_polygon(n, seed)
+        assert triangulation_is_valid(poly, triangulate_polygon(poly))
+
+
+class TestMonotone:
+    @settings(max_examples=40, deadline=None)
+    @given(n=st.integers(4, 50), seed=st.integers(0, 10_000))
+    def test_monotone_property(self, n, seed):
+        poly = monotone_polygon(n, seed)
+        assert triangulation_is_valid(poly, triangulate_monotone(poly))
+
+    def test_convex_polygon(self):
+        t = np.linspace(0, 2 * np.pi, 12, endpoint=False)
+        poly = np.column_stack((np.cos(t), np.sin(t)))
+        assert triangulation_is_valid(poly, triangulate_monotone(poly))
+
+    def test_agrees_with_ear_clipping_on_area(self):
+        poly = monotone_polygon(20, seed=5)
+        a = triangulate_monotone(poly)
+        b = triangulate_polygon(poly)
+        assert a.shape == b.shape == (len(poly) - 2, 3)
+
+    def test_cw_input_accepted(self):
+        poly = monotone_polygon(15, seed=9)[::-1].copy()
+        assert triangulation_is_valid(poly, triangulate_monotone(poly))

@@ -1,0 +1,204 @@
+"""Tests for connected components, spanning forest, biconnectivity, and
+ear decomposition against networkx references."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.algorithms.graphs import (
+    biconnected_components,
+    connected_components,
+    ear_decomposition,
+    low_high,
+    spanning_forest,
+)
+from repro.cgm.config import MachineConfig
+from repro.util.validation import ConfigurationError
+
+from tests.conftest import all_engine_kinds, cfg_for
+
+
+def connected_random_graph(n: int, m: int, seed: int) -> nx.Graph:
+    G = nx.gnm_random_graph(n, m, seed=seed)
+    comps = list(nx.connected_components(G))
+    for a, b in zip(comps, comps[1:]):
+        G.add_edge(min(a), min(b))
+    return G
+
+
+def biconnected_random_graph(n: int, extra: int, seed: int) -> nx.Graph:
+    G = nx.cycle_graph(n)
+    rng = np.random.default_rng(seed)
+    while extra > 0:
+        a, b = map(int, rng.integers(0, n, 2))
+        if a != b and not G.has_edge(a, b):
+            G.add_edge(a, b)
+            extra -= 1
+    assert nx.is_biconnected(G)
+    return G
+
+
+class TestConnectedComponents:
+    @pytest.mark.parametrize("kind", all_engine_kinds())
+    def test_engines_agree_with_networkx(self, kind):
+        n = 60
+        G = nx.gnm_random_graph(n, 50, seed=2)  # several components
+        edges = np.array(G.edges())
+        cfg = cfg_for(kind, MachineConfig(N=n, v=4, B=16))
+        res = connected_components(edges, n, cfg, engine=kind)
+        for cc in nx.connected_components(G):
+            assert {res.values[u] for u in cc} == {min(cc)}
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_many_seeds(self, seed):
+        n = 48
+        G = connected_random_graph(n, 70, seed)
+        edges = np.array(G.edges())
+        res = connected_components(edges, n, MachineConfig(N=n, v=4, B=16), engine="memory")
+        assert (res.values == 0).all()  # single component, min id 0
+
+    def test_no_edges_all_singletons(self):
+        n = 16
+        res = connected_components(
+            np.zeros((0, 2), dtype=np.int64), n, MachineConfig(N=n, v=4, B=8), engine="memory"
+        )
+        assert np.array_equal(res.values, np.arange(n))
+        assert res.extra["forest"] == []
+
+    def test_parallel_and_self_edges_tolerated(self):
+        n = 6
+        edges = np.array([[0, 1], [1, 0], [2, 2], [3, 4]])
+        res = connected_components(edges, n, MachineConfig(N=n, v=2, B=8), engine="memory")
+        assert res.values.tolist() == [0, 0, 2, 3, 3, 5]
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_forest_is_spanning_forest(self, seed):
+        n = 40
+        G = connected_random_graph(n, 55, seed)
+        edges = np.array(G.edges())
+        res = spanning_forest(edges, n, MachineConfig(N=n, v=4, B=16), engine="memory")
+        F = nx.Graph()
+        F.add_nodes_from(range(n))
+        F.add_edges_from(edges[res.values])
+        assert nx.is_forest(F)
+        assert nx.number_connected_components(F) == nx.number_connected_components(G)
+
+    def test_disconnected_forest(self):
+        edges = np.array([[0, 1], [1, 2], [3, 4]])
+        res = spanning_forest(edges, 6, MachineConfig(N=6, v=2, B=8), engine="memory")
+        assert len(res.values) == 3  # 2 + 1 tree edges; vertex 5 isolated
+
+
+class TestLowHigh:
+    def test_low_high_on_cycle_with_chord(self):
+        # cycle 0-1-2-3-0 plus chord 1-3
+        G = nx.cycle_graph(4)
+        G.add_edge(1, 3)
+        edges = np.array(G.edges())
+        res = low_high(edges, 4, MachineConfig(N=4, v=2, B=8), engine="memory")
+        pre = None  # low/high are in preorder space; sanity: low <= high
+        assert (res.values["low"] <= res.values["high"]).all()
+        # the root's subtree reaches everything
+        assert res.values["low"][0] == 0
+
+    def test_requires_connected(self):
+        edges = np.array([[0, 1], [2, 3]])
+        with pytest.raises(ConfigurationError, match="connected"):
+            low_high(edges, 4, MachineConfig(N=4, v=2, B=8), engine="memory")
+
+
+class TestBiconnectedComponents:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_partition_matches_networkx(self, seed):
+        n = 36
+        G = connected_random_graph(n, 50, seed)
+        edges = np.array(G.edges())
+        res = biconnected_components(edges, n, MachineConfig(N=n, v=4, B=16), engine="memory")
+        ours = {
+            frozenset((int(a), int(b))): res.values[i]
+            for i, (a, b) in enumerate(edges)
+        }
+        nx_groups = list(nx.biconnected_component_edges(G))
+        for group in nx_groups:
+            assert len({ours[frozenset(e)] for e in group}) == 1
+        reps = [ours[frozenset(next(iter(g)))] for g in nx_groups]
+        assert len(set(reps)) == len(nx_groups)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_articulation_points_and_bridges(self, seed):
+        n = 36
+        G = connected_random_graph(n, 44, seed)
+        edges = np.array(G.edges())
+        res = biconnected_components(edges, n, MachineConfig(N=n, v=4, B=16), engine="memory")
+        assert set(res.extra["articulation_points"]) == set(nx.articulation_points(G))
+        assert {frozenset(map(int, edges[i])) for i in res.extra["bridges"]} == {
+            frozenset(e) for e in nx.bridges(G)
+        }
+
+    def test_tree_every_edge_its_own_component(self):
+        n = 12
+        T = nx.random_labeled_tree(n, seed=4)
+        edges = np.array(T.edges())
+        res = biconnected_components(edges, n, MachineConfig(N=n, v=2, B=8), engine="memory")
+        assert len(set(res.values.tolist())) == n - 1
+        assert len(res.extra["bridges"]) == n - 1
+
+    def test_cycle_single_component(self):
+        n = 10
+        edges = np.array(nx.cycle_graph(n).edges())
+        res = biconnected_components(edges, n, MachineConfig(N=n, v=2, B=8), engine="memory")
+        assert len(set(res.values.tolist())) == 1
+        assert res.extra["articulation_points"] == []
+
+    def test_seq_engine_agrees(self):
+        n = 30
+        G = connected_random_graph(n, 40, 3)
+        edges = np.array(G.edges())
+        cfg = MachineConfig(N=n, v=4, B=16)
+        a = biconnected_components(edges, n, cfg, engine="memory")
+        b = biconnected_components(edges, n, cfg, engine="seq")
+        # partitions equal up to labeling: compare co-membership
+        for i in range(len(edges)):
+            for j in range(i + 1, len(edges)):
+                assert (a.values[i] == a.values[j]) == (b.values[i] == b.values[j])
+
+
+class TestEarDecomposition:
+    @pytest.mark.parametrize("seed", [1, 3, 5])
+    def test_ear_structure(self, seed):
+        n = 20
+        G = biconnected_random_graph(n, 10, seed)
+        edges = np.array(G.edges())
+        res = ear_decomposition(edges, n, MachineConfig(N=n, v=4, B=16), engine="memory")
+        ear = res.values
+        E = edges.shape[0]
+        # number of ears = E - n + 1
+        assert len(set(ear.tolist())) == E - n + 1
+        # each ear induces max degree 2 (path or cycle)
+        for k in set(ear.tolist()):
+            H = nx.MultiGraph()
+            H.add_edges_from(edges[ear == k])
+            assert max(d for _, d in H.degree()) <= 2
+
+    def test_ear_zero_is_a_cycle(self):
+        n = 16
+        G = biconnected_random_graph(n, 8, seed=2)
+        edges = np.array(G.edges())
+        res = ear_decomposition(edges, n, MachineConfig(N=n, v=4, B=16), engine="memory")
+        first = edges[res.values == 0]
+        H = nx.Graph()
+        H.add_edges_from(first)
+        assert all(d == 2 for _, d in H.degree())  # a simple cycle
+
+    def test_bridge_rejected(self):
+        edges = np.array([[0, 1], [1, 2], [2, 0], [2, 3]])  # 2-3 is a bridge
+        with pytest.raises(ConfigurationError, match="bridge|biconnected"):
+            ear_decomposition(edges, 4, MachineConfig(N=4, v=2, B=8), engine="memory")
+
+    def test_pure_cycle_one_ear(self):
+        n = 8
+        edges = np.array(nx.cycle_graph(n).edges())
+        res = ear_decomposition(edges, n, MachineConfig(N=n, v=2, B=8), engine="memory")
+        assert set(res.values.tolist()) == {0}

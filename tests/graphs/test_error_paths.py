@@ -1,0 +1,116 @@
+"""Error-path and edge-case tests for the graph building blocks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms.graphs import (
+    euler_tour_positions,
+    list_rank,
+    range_min_queries,
+    scatter_reduce,
+)
+from repro.cgm.config import MachineConfig
+from repro.util.validation import ConfigurationError, SimulationError
+
+
+class TestScatterReduceEdges:
+    def test_bad_op_rejected(self):
+        from repro.algorithms.graphs.scatter import ScatterReduce
+
+        with pytest.raises(ConfigurationError, match="op must be"):
+            ScatterReduce(op="median")
+
+    def test_empty_rows(self):
+        cfg = MachineConfig(N=16, v=4, B=8)
+        res = scatter_reduce(np.zeros((0, 2), dtype=np.int64), 16, cfg, "sum", "memory")
+        assert np.array_equal(res.values, np.zeros(16, dtype=np.int64))
+
+    def test_single_key_all_values(self, rng):
+        rows = np.column_stack((np.zeros(50, dtype=np.int64), rng.integers(0, 10, 50)))
+        cfg = MachineConfig(N=4, v=2, B=8)
+        res = scatter_reduce(rows, 4, cfg, "sum", "memory")
+        assert res.values[0] == rows[:, 1].sum()
+        assert (res.values[1:] == 0).all()
+
+
+class TestRMQEdges:
+    def test_out_of_range_query_rejected(self):
+        vals = np.arange(10, dtype=np.int64)
+        queries = np.array([[0, 3, 12]])  # r beyond the array
+        with pytest.raises(SimulationError, match="out of range"):
+            range_min_queries(vals, queries, MachineConfig(N=10, v=2, B=8), engine="memory")
+
+    def test_single_element_queries(self):
+        vals = np.array([5, 2, 9], dtype=np.int64)
+        queries = np.array([[0, 0, 0], [1, 2, 2]])
+        res = range_min_queries(vals, queries, MachineConfig(N=3, v=3, B=8), engine="memory")
+        assert res.values[0, 1] == 5
+        assert res.values[1, 1] == 9
+
+    def test_no_queries(self):
+        vals = np.arange(10, dtype=np.int64)
+        res = range_min_queries(
+            vals, np.zeros((0, 3), dtype=np.int64), MachineConfig(N=10, v=2, B=8), engine="memory"
+        )
+        assert res.values.size == 0
+
+    def test_whole_array_query(self, rng):
+        vals = rng.integers(0, 1000, 64)
+        res = range_min_queries(
+            vals, np.array([[0, 0, 63]]), MachineConfig(N=64, v=8, B=8), engine="memory"
+        )
+        assert res.values[0, 1] == vals.min()
+
+
+class TestEulerEdges:
+    def test_single_edge_tree(self):
+        edges = np.array([[0, 1]])
+        res = euler_tour_positions(edges, 2, MachineConfig(N=2, v=2, B=8), engine="memory")
+        assert sorted(res.values.tolist()) == [0, 1]
+        assert res.values[0] == 0  # 0->1 first from root 0
+
+    def test_no_edges_rejected(self):
+        with pytest.raises(ConfigurationError, match="at least one edge"):
+            euler_tour_positions(
+                np.zeros((0, 2), dtype=np.int64), 3, MachineConfig(N=4, v=2, B=8), engine="memory"
+            )
+
+    def test_disconnected_forest_detected(self):
+        # two disjoint edges: the tour never closes into one list
+        edges = np.array([[0, 1], [2, 3]])
+        with pytest.raises(SimulationError):
+            euler_tour_positions(edges, 4, MachineConfig(N=4, v=2, B=8), engine="memory")
+
+    def test_nonzero_root(self):
+        edges = np.array([[0, 1], [1, 2]])
+        res = euler_tour_positions(
+            edges, 3, MachineConfig(N=4, v=2, B=8), root=2, engine="memory"
+        )
+        pos = res.values
+        # first edge of the tour leaves vertex 2: directed id 3 (2 -> 1)
+        assert pos[3] == 0
+
+
+class TestListRankEdges:
+    def test_weights_length_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            list_rank(
+                np.array([1, -1], dtype=np.int64),
+                MachineConfig(N=2, v=2, B=8),
+                weights=np.ones(3),
+                engine="memory",
+            )
+
+    def test_two_node_list(self):
+        succ = np.array([1, -1], dtype=np.int64)
+        res = list_rank(succ, MachineConfig(N=2, v=2, B=8), engine="memory")
+        assert res.values.tolist() == [1.0, 0.0]
+
+    def test_zero_weights_all_zero_ranks(self):
+        succ = np.array([1, 2, -1], dtype=np.int64)
+        res = list_rank(
+            succ, MachineConfig(N=3, v=1, B=8), weights=np.zeros(3), engine="memory"
+        )
+        assert (res.values == 0).all()

@@ -1,0 +1,110 @@
+"""Tests for CGM list ranking (Group C row 1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.graphs import list_rank
+from repro.cgm.config import MachineConfig
+from repro.util.validation import SimulationError
+
+from tests.conftest import all_engine_kinds, cfg_for
+
+
+def random_list(n: int, seed: int) -> tuple[np.ndarray, np.ndarray]:
+    """A random single linked list over ids 0..n-1; returns (succ, order)."""
+    order = np.random.default_rng(seed).permutation(n)
+    succ = np.full(n, -1, dtype=np.int64)
+    for a, b in zip(order[:-1], order[1:]):
+        succ[a] = b
+    return succ, order
+
+
+def expected_ranks(order: np.ndarray) -> np.ndarray:
+    n = order.size
+    out = np.empty(n)
+    for i, node in enumerate(order):
+        out[node] = n - 1 - i
+    return out
+
+
+class TestListRanking:
+    @pytest.mark.parametrize("kind", all_engine_kinds())
+    def test_distance_to_tail_all_engines(self, kind):
+        n = 400
+        succ, order = random_list(n, seed=1)
+        cfg = cfg_for(kind, MachineConfig(N=n, v=8, B=16))
+        res = list_rank(succ, cfg, engine=kind)
+        assert np.array_equal(res.values, expected_ranks(order))
+
+    def test_identity_ordered_list(self):
+        n = 128
+        succ = np.arange(1, n + 1, dtype=np.int64)
+        succ[-1] = -1
+        res = list_rank(succ, MachineConfig(N=n, v=4, B=16), engine="memory")
+        assert np.array_equal(res.values, np.arange(n)[::-1])
+
+    def test_weighted_suffix_sums(self):
+        n = 100
+        succ, order = random_list(n, seed=3)
+        rng = np.random.default_rng(5)
+        w = rng.uniform(-2, 2, n)
+        res = list_rank(succ, MachineConfig(N=n, v=4, B=16), weights=w, engine="memory")
+        suffix = np.empty(n)
+        acc = 0.0
+        for node in order[::-1]:
+            acc += w[node]
+            suffix[node] = acc
+        assert np.allclose(res.values, suffix)
+
+    def test_tiny_lists(self):
+        for n in (1, 2, 3):
+            succ = np.arange(1, n + 1, dtype=np.int64)
+            succ[-1] = -1
+            res = list_rank(succ, MachineConfig(N=max(n, 2), v=2, B=8)
+                            if n >= 2 else MachineConfig(N=2, v=2, B=8),
+                            engine="memory") if n >= 2 else None
+            if res is not None:
+                assert np.array_equal(res.values[:n], np.arange(n)[::-1])
+
+    def test_contraction_round_count_logarithmic(self):
+        """Rounds grow ~log(v-fold contraction), not linearly with n."""
+        rounds = {}
+        for n in (256, 1024, 4096):
+            succ, _ = random_list(n, seed=7)
+            res = list_rank(succ, MachineConfig(N=n, v=8, B=32), engine="memory")
+            rounds[n] = res.total_rounds
+        # 16x more data -> at most ~2.5x more rounds (log-ish growth)
+        assert rounds[4096] <= 2.5 * rounds[256]
+
+    def test_cycle_detected(self):
+        # v=1 gathers immediately, so malformed input is diagnosed cleanly
+        succ = np.array([1, 2, 0, -1], dtype=np.int64)  # 0-1-2 form a cycle
+        with pytest.raises(SimulationError, match="cycle"):
+            list_rank(succ, MachineConfig(N=4, v=1, B=8), engine="memory")
+
+    def test_two_lists_detected(self):
+        succ = np.array([1, -1, 3, -1], dtype=np.int64)
+        with pytest.raises(SimulationError, match="heads"):
+            list_rank(succ, MachineConfig(N=4, v=1, B=8), engine="memory")
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 10_000), v=st.sampled_from([2, 4, 8, 16]))
+    def test_ranking_property(self, seed, v):
+        n = 300
+        succ, order = random_list(n, seed)
+        res = list_rank(succ, MachineConfig(N=n, v=v, B=16, seed=seed), engine="memory")
+        assert np.array_equal(res.values, expected_ranks(order))
+
+    def test_deterministic_across_engines(self):
+        """Same seed -> identical coin flips -> identical contraction."""
+        n = 300
+        succ, _ = random_list(n, seed=9)
+        cfg = MachineConfig(N=n, v=4, B=16, seed=42)
+        a = list_rank(succ, cfg, engine="memory")
+        b = list_rank(succ, cfg, engine="seq")
+        assert np.array_equal(a.values, b.values)
+        assert a.total_rounds == b.total_rounds

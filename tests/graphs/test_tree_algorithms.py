@@ -1,0 +1,248 @@
+"""Tests for Euler tour, tree measures, LCA, and expression evaluation."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+from networkx.algorithms.lowest_common_ancestors import (
+    tree_all_pairs_lowest_common_ancestor,
+)
+
+from repro.algorithms.graphs import (
+    euler_tour_positions,
+    expression_eval,
+    list_rank,
+    lowest_common_ancestors,
+    range_min_queries,
+    scatter_reduce,
+    tree_measures,
+)
+from repro.algorithms.graphs.tree_contraction import (
+    OP_ADD,
+    OP_MUL,
+    eval_expression_direct,
+)
+from repro.cgm.config import MachineConfig
+
+
+def random_tree(n: int, seed: int) -> nx.Graph:
+    return nx.random_labeled_tree(n, seed=seed)
+
+
+def tree_cfg(n: int, v: int = 4) -> MachineConfig:
+    return MachineConfig(N=2 * (n - 1), v=v, B=16)
+
+
+class TestEulerTour:
+    def test_positions_are_a_permutation(self):
+        n = 50
+        edges = np.array(random_tree(n, 3).edges())
+        res = euler_tour_positions(edges, n, tree_cfg(n), root=0, engine="memory")
+        assert sorted(res.values.tolist()) == list(range(2 * (n - 1)))
+
+    def test_tour_starts_at_root(self):
+        n = 30
+        edges = np.array(random_tree(n, 4).edges())
+        res = euler_tour_positions(edges, n, tree_cfg(n), root=0, engine="memory")
+        pos = res.values
+        first = int(np.argmin(pos))  # directed edge at position 0
+        tails = edges[first // 2][0] if first % 2 == 0 else edges[first // 2][1]
+        assert tails == 0
+
+    def test_path_graph_tour(self):
+        """For a path 0-1-2, the tour is fully determined."""
+        edges = np.array([[0, 1], [1, 2]])
+        res = euler_tour_positions(edges, 3, MachineConfig(N=4, v=2, B=8), engine="memory")
+        pos = res.values
+        # 0->1 (id 0), 1->2 (id 2), 2->1 (id 3), 1->0 (id 1)
+        assert pos.tolist() == [0, 3, 1, 2]
+
+    @pytest.mark.parametrize("engine", ["memory", "seq"])
+    def test_engines_agree(self, engine):
+        n = 40
+        edges = np.array(random_tree(n, 5).edges())
+        res = euler_tour_positions(edges, n, tree_cfg(n), engine=engine)
+        ref = euler_tour_positions(edges, n, tree_cfg(n), engine="memory")
+        assert np.array_equal(res.values, ref.values)
+
+
+class TestTreeMeasures:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_against_networkx(self, seed):
+        n = 64
+        T = random_tree(n, seed)
+        edges = np.array(T.edges())
+        res = tree_measures(edges, n, tree_cfg(n), root=0, engine="memory")
+        vals = res.values
+        depth_nx = nx.single_source_shortest_path_length(T, 0)
+        assert all(vals["depth"][u] == depth_nx[u] for u in range(n))
+        assert sorted(vals["preorder"].tolist()) == list(range(n))
+        for u in range(n):
+            p = vals["parent"][u]
+            if p >= 0:
+                assert vals["preorder"][p] < vals["preorder"][u]
+                assert vals["depth"][u] == vals["depth"][p] + 1
+        # subtree sizes by bottom-up accumulation
+        sz = np.ones(n, dtype=int)
+        for u in sorted(range(n), key=lambda x: -vals["depth"][x]):
+            p = vals["parent"][u]
+            if p >= 0:
+                sz[p] += sz[u]
+        assert np.array_equal(sz, vals["size"])
+
+    def test_star_graph(self):
+        n = 20
+        edges = np.array([[0, i] for i in range(1, n)])
+        res = tree_measures(edges, n, tree_cfg(n), engine="memory")
+        assert (res.values["depth"][1:] == 1).all()
+        assert res.values["size"][0] == n
+        assert (res.values["size"][1:] == 1).all()
+
+    def test_path_graph_depths(self):
+        n = 33
+        edges = np.array([[i, i + 1] for i in range(n - 1)])
+        res = tree_measures(edges, n, tree_cfg(n), engine="memory")
+        assert np.array_equal(res.values["depth"], np.arange(n))
+        assert np.array_equal(res.values["preorder"], np.arange(n))
+
+
+class TestScatterReduceAndRMQ:
+    def test_scatter_reduce_ops(self, rng):
+        rows = np.column_stack(
+            (rng.integers(0, 30, 200), rng.integers(-50, 50, 200))
+        )
+        cfg = MachineConfig(N=30, v=4, B=8)
+        for op, fn, ident in (
+            ("min", np.minimum, np.iinfo(np.int64).max),
+            ("max", np.maximum, np.iinfo(np.int64).min),
+            ("sum", np.add, 0),
+        ):
+            from repro.algorithms.graphs import scatter_reduce
+
+            out = scatter_reduce(rows, 30, cfg, op=op, engine="memory")
+            expect = np.full(30, ident, dtype=np.int64)
+            fn.at(expect, rows[:, 0], rows[:, 1])
+            assert np.array_equal(out.values, expect), op
+
+    def test_rmq_exhaustive_small(self):
+        vals = np.array([5, 3, 8, 3, 9, 1, 7], dtype=np.int64)
+        queries = []
+        qid = 0
+        for l in range(7):
+            for r in range(l, 7):
+                queries.append((qid, l, r))
+                qid += 1
+        cfg = MachineConfig(N=7, v=7, B=8)
+        res = range_min_queries(vals, np.array(queries), cfg, engine="memory")
+        for q, mv, _pay in res.values:
+            _, l, r = queries[q]
+            assert mv == vals[l : r + 1].min()
+
+    def test_rmq_payload_argmin_leftmost(self, rng):
+        vals = np.array([2, 1, 1, 4], dtype=np.int64)
+        res = range_min_queries(
+            vals,
+            np.array([[0, 0, 3]]),
+            MachineConfig(N=4, v=2, B=8),
+            payload=np.arange(4) * 10,
+            engine="memory",
+        )
+        assert res.values[0].tolist() == [0, 1, 10]  # leftmost of the two 1s
+
+    @pytest.mark.parametrize("engine", ["memory", "seq"])
+    def test_rmq_random(self, engine, rng):
+        n = 300
+        vals = rng.integers(0, 10_000, n)
+        qs = []
+        for qid in range(120):
+            l = int(rng.integers(0, n))
+            r = int(rng.integers(l, n))
+            qs.append((qid, l, r))
+        res = range_min_queries(
+            vals, np.array(qs), MachineConfig(N=n, v=8, B=16), engine=engine
+        )
+        for q, mv, _ in res.values:
+            _, l, r = qs[q]
+            assert mv == vals[l : r + 1].min()
+
+
+class TestLCA:
+    @pytest.mark.parametrize("seed", [0, 7])
+    def test_against_networkx(self, seed, rng):
+        n = 70
+        T = random_tree(n, seed)
+        edges = np.array(T.edges())
+        queries = rng.integers(0, n, (50, 2))
+        res = lowest_common_ancestors(
+            edges, queries, n, tree_cfg(n), root=0, engine="memory"
+        )
+        DT = nx.bfs_tree(T, 0)
+        pairs = [(int(u), int(w)) for u, w in queries]
+        expect = dict(tree_all_pairs_lowest_common_ancestor(DT, root=0, pairs=pairs))
+        for (u, w), got in zip(pairs, res.values):
+            assert expect[(u, w)] == got
+
+    def test_lca_with_self_and_root(self):
+        edges = np.array([[0, 1], [1, 2], [0, 3]])
+        queries = np.array([[2, 2], [2, 3], [0, 2], [1, 2]])
+        res = lowest_common_ancestors(
+            edges, queries, 4, MachineConfig(N=6, v=2, B=8), engine="memory"
+        )
+        assert res.values.tolist() == [2, 0, 0, 1]
+
+
+def random_expr_tree(n, rng):
+    parent = np.full(n, -1, dtype=np.int64)
+    op = rng.integers(0, 2, n)
+    val = rng.uniform(0.5, 1.5, n)
+    child_count = np.zeros(n, dtype=int)
+    avail = [0]
+    for u in range(1, n):
+        k = int(rng.integers(0, len(avail)))
+        p = avail[k]
+        parent[u] = p
+        child_count[p] += 1
+        if child_count[p] == 2:
+            avail.pop(k)
+        avail.append(u)
+    return parent, op, val
+
+
+class TestExpressionEval:
+    @pytest.mark.parametrize("n,v", [(1, 2), (7, 2), (150, 4), (601, 8)])
+    def test_random_trees(self, n, v, rng):
+        parent, op, val = random_expr_tree(n, rng)
+        expect = eval_expression_direct(parent, op, val, 0)
+        cfg = MachineConfig(N=n, v=v, B=16)
+        res = expression_eval(parent, op, val, cfg, engine="memory")
+        assert res.values == pytest.approx(expect, rel=1e-9)
+
+    def test_seq_engine_agrees(self, rng):
+        parent, op, val = random_expr_tree(200, rng)
+        cfg = MachineConfig(N=200, v=4, B=16)
+        a = expression_eval(parent, op, val, cfg, engine="memory")
+        b = expression_eval(parent, op, val, cfg, engine="seq")
+        assert a.values == pytest.approx(b.values, rel=1e-12)
+
+    def test_pure_chain_compress(self):
+        """Caterpillar chain: rake alone would take O(n) phases; compress
+        must bring it to O(log)."""
+        n = 256
+        parent = np.arange(-1, n - 1, dtype=np.int64)
+        op = np.full(n, OP_ADD)
+        val = np.ones(n)
+        cfg = MachineConfig(N=n, v=4, B=16)
+        res = expression_eval(parent, op, val, cfg, engine="memory")
+        assert res.values == pytest.approx(float(n) - (n - 1))  # leaf value 1
+        # chain of adds with unit leaf: value = 1 at the single leaf
+        assert res.reports[0].rounds < n // 2
+
+    def test_all_multiply(self, rng):
+        n = 63
+        parent, _, _ = random_expr_tree(n, rng)
+        op = np.full(n, OP_MUL)
+        val = rng.uniform(0.9, 1.1, n)
+        expect = eval_expression_direct(parent, op, val, 0)
+        res = expression_eval(parent, op, val, MachineConfig(N=n, v=4, B=16), engine="memory")
+        assert res.values == pytest.approx(expect, rel=1e-9)

@@ -1,0 +1,72 @@
+"""CLI tests: every subcommand runs, verifies, and reports."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["sort"])
+        assert args.v == 8 and args.d == 2 and args.engine is None
+
+    def test_engine_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sort", "--engine", "quantum"])
+
+
+class TestCommands:
+    def test_sort(self, capsys):
+        assert main(["sort", "--n", "4096", "--v", "4", "--b", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "sorted 4096 items: OK" in out
+        assert "parallel I/Os" in out
+
+    def test_sort_balanced(self, capsys):
+        assert main(["sort", "--n", "4096", "--v", "4", "--b", "64", "--balanced"]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_permute(self, capsys):
+        assert main(["permute", "--n", "4096", "--v", "4", "--b", "64"]) == 0
+        assert "permuted 4096 items: OK" in capsys.readouterr().out
+
+    def test_transpose(self, capsys):
+        assert main(["transpose", "--rows", "32", "--cols", "64", "--v", "4", "--b", "32"]) == 0
+        assert "transposed 32x64: OK" in capsys.readouterr().out
+
+    def test_delaunay(self, capsys):
+        assert main(["delaunay", "--n", "400", "--v", "4", "--b", "32"]) == 0
+        assert "triangles: OK" in capsys.readouterr().out
+
+    def test_cc(self, capsys):
+        assert main(["cc", "--n", "200", "--edges", "300", "--v", "4", "--b", "32"]) == 0
+        assert "components: OK" in capsys.readouterr().out
+
+    def test_listrank(self, capsys):
+        assert main(["listrank", "--n", "500", "--v", "4", "--b", "32"]) == 0
+        assert "list ranking of 500 nodes: OK" in capsys.readouterr().out
+
+    def test_listrank_par(self, capsys):
+        assert main(["listrank", "--n", "400", "--v", "8", "--p", "2", "--b", "16"]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_theory_with_check(self, capsys):
+        assert main(["theory", "--v", "100", "--check", "1e7", "100"]) == 0
+        out = capsys.readouterr().out
+        assert "c=2" in out and "2.000" in out
+
+    def test_machine_reports_constraints(self, capsys):
+        assert main(["machine", "--n", "1024", "--v", "32"]) == 0
+        out = capsys.readouterr().out
+        assert "VIOLATED" in out  # tiny N breaks the paper constraints
+        assert "suggested G" in out
+
+    def test_vm_engine(self, capsys):
+        assert main(["sort", "--n", "4096", "--v", "4", "--b", "64", "--engine", "vm"]) == 0
+        assert "page faults" in capsys.readouterr().out

@@ -1,0 +1,128 @@
+"""Unit tests for item accounting and serialization."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.util.items import (
+    ITEM_BYTES,
+    blocks_needed,
+    bytes_to_items,
+    deserialize,
+    item_count,
+    serialize,
+)
+
+
+class TestSerializeRoundTrip:
+    def test_int64_array(self):
+        arr = np.arange(1000, dtype=np.int64)
+        out = deserialize(serialize(arr))
+        assert np.array_equal(out, arr)
+        assert out.dtype == arr.dtype
+
+    def test_float_array(self):
+        arr = np.linspace(-1e9, 1e9, 317)
+        assert np.array_equal(deserialize(serialize(arr)), arr)
+
+    def test_2d_array_shape_preserved(self):
+        arr = np.arange(60).reshape(5, 12)
+        out = deserialize(serialize(arr))
+        assert out.shape == (5, 12)
+        assert np.array_equal(out, arr)
+
+    def test_empty_array(self):
+        arr = np.array([], dtype=np.float64)
+        out = deserialize(serialize(arr))
+        assert out.size == 0
+        assert out.dtype == np.float64
+
+    def test_zero_d_array(self):
+        arr = np.array(42.5)
+        out = deserialize(serialize(arr))
+        assert out.shape == ()
+        assert out == 42.5
+
+    def test_non_contiguous_array(self):
+        arr = np.arange(100).reshape(10, 10)[::2, ::3]
+        assert np.array_equal(deserialize(serialize(arr)), arr)
+
+    def test_dict_payload(self):
+        obj = {"a": [1, 2, 3], "b": "text", "c": (4.5, None)}
+        assert deserialize(serialize(obj)) == obj
+
+    def test_nested_with_arrays_uses_pickle_path(self):
+        obj = {"x": np.arange(5), "y": "meta"}
+        out = deserialize(serialize(obj))
+        assert np.array_equal(out["x"], np.arange(5))
+        assert out["y"] == "meta"
+
+    def test_padding_is_harmless(self):
+        # engines store objects in whole blocks: trailing zeros must be ignored
+        data = serialize({"k": 1}) + b"\x00" * 37
+        assert deserialize(data) == {"k": 1}
+
+    def test_structured_dtype(self):
+        dt = np.dtype([("a", np.int32), ("b", np.float64)])
+        arr = np.zeros(4, dtype=dt)
+        arr["a"] = [1, 2, 3, 4]
+        out = deserialize(serialize(arr))
+        assert np.array_equal(out["a"], arr["a"])
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(ValueError, match="unknown serialization tag"):
+            deserialize(b"Z" + b"\x00" * 16)
+
+    @given(
+        hnp.arrays(
+            dtype=st.sampled_from([np.int64, np.float64, np.uint32]),
+            shape=hnp.array_shapes(max_dims=2, max_side=50),
+        )
+    )
+    def test_roundtrip_property(self, arr):
+        out = deserialize(serialize(arr))
+        assert out.shape == arr.shape
+        assert np.array_equal(out, arr, equal_nan=True)
+
+
+class TestItemCount:
+    def test_array_by_buffer_size(self):
+        assert item_count(np.zeros(100, dtype=np.int64)) == 100
+        assert item_count(np.zeros(100, dtype=np.int32)) == 50
+
+    def test_scalar_is_one(self):
+        assert item_count(7) == 1
+        assert item_count(3.14) == 1
+
+    def test_numeric_list_by_length(self):
+        assert item_count([1, 2, 3, 4]) == 4
+
+    def test_bytes(self):
+        assert item_count(b"x" * 16) == 2
+        assert item_count(b"x") == 1
+
+    def test_generic_object_positive(self):
+        assert item_count({"some": "dict"}) >= 1
+
+    def test_empty_array_still_charged_one(self):
+        assert item_count(np.array([])) == 1
+
+
+class TestBlockArithmetic:
+    def test_bytes_to_items_rounds_up(self):
+        assert bytes_to_items(1) == 1
+        assert bytes_to_items(8) == 1
+        assert bytes_to_items(9) == 2
+
+    def test_blocks_needed(self):
+        assert blocks_needed(0, 64) == 0
+        assert blocks_needed(1, 64) == 1
+        assert blocks_needed(64, 64) == 1
+        assert blocks_needed(65, 64) == 2
+
+    def test_item_is_eight_bytes(self):
+        assert ITEM_BYTES == 8
