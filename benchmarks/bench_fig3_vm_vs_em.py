@@ -91,3 +91,38 @@ def test_fig3_benchmark_vm_sort(benchmark):
     cfg = MachineConfig(N=data.size, v=V, D=D, B=B, M=M)
     out = benchmark(lambda: em_sort(data, cfg, engine="vm"))
     assert np.array_equal(out.values, np.sort(data))
+
+
+def test_fig3_disabled_tracing_sanity():
+    """Bench sanity check: the no-op recorder changes nothing.
+
+    With tracing disabled (the default NULL_RECORDER) the engine must
+    produce bit-identical accounting to an explicit NullRecorder run, and
+    the guarded call sites must never invoke ``emit`` — which is what
+    makes the disabled path zero-cost.
+    """
+    import time
+
+    from repro.obs.trace import NullRecorder
+
+    class ExplodingRecorder(NullRecorder):
+        def emit(self, kind, **tags):  # pragma: no cover - must not run
+            raise AssertionError("disabled recorder was invoked")
+
+    data = np.random.default_rng(11).integers(0, 2**50, 1 << 13)
+    cfg = MachineConfig(N=data.size, v=V, D=D, B=B, M=M)
+
+    t0 = time.perf_counter()
+    base = em_sort(data, cfg, engine="seq")
+    t_base = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    guarded = em_sort(data, cfg, engine="seq", tracer=ExplodingRecorder())
+    t_guarded = time.perf_counter() - t0
+
+    assert np.array_equal(base.values, guarded.values)
+    assert base.report.io.parallel_ios == guarded.report.io.parallel_ios
+    assert base.report.io.per_disk_blocks == guarded.report.io.per_disk_blocks
+    print(
+        f"\ndisabled-tracing overhead: baseline {t_base * 1e3:.1f} ms, "
+        f"guarded no-op recorder {t_guarded * 1e3:.1f} ms"
+    )

@@ -35,6 +35,7 @@ from repro.cgm.config import MachineConfig
 from repro.cgm.message import Message
 from repro.cgm.metrics import CostReport, RoundMetrics
 from repro.cgm.program import CGMProgram, Context, RoundEnv
+from repro.obs.trace import NULL_RECORDER, TraceRecorder
 from repro.util.rng import spawn_rngs
 from repro.util.validation import ConfigurationError, SimulationError
 
@@ -64,11 +65,16 @@ class Engine:
         cfg: MachineConfig,
         balanced: bool = False,
         validate: bool = True,
+        tracer: TraceRecorder | None = None,
     ) -> None:
         self.cfg = cfg
         self.balanced = balanced
         self.validate = validate
         self.constraint_warnings: list[str] = []
+        #: trace recorder; defaults to the zero-cost disabled singleton.
+        #: Call sites must guard on ``self.tracer.enabled`` so the disabled
+        #: path never constructs an event payload.
+        self.tracer = tracer if tracer is not None else NULL_RECORDER
 
     # ------------------------------------------------------------------ hooks
 
@@ -114,6 +120,12 @@ class Engine:
         """Real-machine supersteps consumed per CGM round."""
         return 1
 
+    def _io_totals(self) -> "object | None":
+        """Current aggregated :class:`IOStats` across real processors, or
+        ``None`` for backends that issue no disk I/O.  Used for per-round
+        I/O deltas (``RoundMetrics.io``) and superstep trace events."""
+        return None
+
     # ------------------------------------------------------------------ driver
 
     def run(self, program: CGMProgram, inputs: list[Any]) -> RunResult:
@@ -132,6 +144,20 @@ class Engine:
         report = CostReport(engine=self.name)
         self._max_message_items = program.max_message_items(cfg)
         self._start(program)
+        tr = self.tracer
+        if tr.enabled:
+            tr.emit(
+                "run_begin",
+                engine=self.name,
+                program=program.name,
+                N=cfg.N,
+                v=cfg.v,
+                p=cfg.p,
+                D=cfg.D,
+                B=cfg.B,
+                M=cfg.M,
+                balanced=self.balanced,
+            )
 
         for pid in range(v):
             ctx = Context()
@@ -146,6 +172,9 @@ class Engine:
             recv = [0] * v
             per_real_wall = [0.0] * cfg.p
             vpr = cfg.vprocs_per_real
+            io_before = self._io_totals()
+            if tr.enabled:
+                tr.emit("superstep_begin", superstep=report.supersteps, round=r)
 
             for pid in range(v):
                 real = pid // vpr
@@ -160,7 +189,8 @@ class Engine:
                 env = RoundEnv(pid, v, r, cfg, inbox, rngs[pid])
                 t0 = time.perf_counter()
                 done = program.round(r, ctx, env)
-                per_real_wall[real] += time.perf_counter() - t0
+                wall = time.perf_counter() - t0
+                per_real_wall[real] += wall
                 all_done &= bool(done)
                 self._store_context(pid, ctx)
 
@@ -171,6 +201,24 @@ class Engine:
                     rm.comm_items += m.size_items
                     if (m.dest // vpr) != real:
                         rm.cross_items += m.size_items
+                        if tr.enabled:
+                            tr.emit(
+                                "network_transfer",
+                                src=m.src,
+                                dest=m.dest,
+                                src_real=real,
+                                dest_real=m.dest // vpr,
+                                items=m.size_items,
+                            )
+                if tr.enabled:
+                    tr.emit(
+                        "compute_round",
+                        pid=pid,
+                        real=real,
+                        round=r,
+                        wall_s=wall,
+                        done=bool(done),
+                    )
                 if self.balanced and outbox:
                     outbox = bal.split_phase_a(outbox, v)
                 self._put_messages(pid, outbox)
@@ -183,8 +231,21 @@ class Engine:
             rm.h_in = max(recv, default=0)
             rm.h_out = max(sent, default=0)
             rm.comp_wall_s = max(per_real_wall)
+            io_after = self._io_totals()
+            if io_after is not None:
+                rm.io = io_after.delta_since(io_before) if io_before else io_after.snapshot()
             report.add_round(rm)
             report.supersteps += self._supersteps_per_round() * (2 if self.balanced else 1)
+            if tr.enabled:
+                tr.emit(
+                    "superstep_end",
+                    superstep=report.supersteps,
+                    round=r,
+                    h_in=rm.h_in,
+                    h_out=rm.h_out,
+                    parallel_ios=rm.io.parallel_ios,
+                    blocks=rm.io.blocks_total,
+                )
             self._round_boundary(r)
             r += 1
             if all_done and not self._pending_messages():
@@ -197,6 +258,15 @@ class Engine:
 
         outputs = [program.finish(self._load_context(pid)) for pid in range(v)]
         self._finalize(report)
+        if tr.enabled:
+            tr.emit(
+                "run_end",
+                engine=self.name,
+                rounds=report.rounds,
+                supersteps=report.supersteps,
+                parallel_ios=report.io.parallel_ios,
+                cross_items=report.cross_items,
+            )
         return RunResult(outputs, report, cfg)
 
     def _relay_superstep(self, report: CostReport) -> None:

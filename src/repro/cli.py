@@ -42,6 +42,25 @@ def _add_machine_args(p: argparse.ArgumentParser, n_default: int = 1 << 16) -> N
         help="backend (default: seq for p=1, par otherwise)",
     )
     p.add_argument("--balanced", action="store_true", help="route via Algorithm 1")
+    p.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="record a superstep/I/O/network event trace to PATH",
+    )
+    p.add_argument(
+        "--trace-format",
+        choices=["jsonl", "chrome"],
+        default="jsonl",
+        help="trace output format: JSON-lines events or a Chrome "
+        "trace-event array for chrome://tracing (default: jsonl)",
+    )
+    p.add_argument(
+        "--crosscheck",
+        action="store_true",
+        help="check measured costs against the Theorem 2/3 predictions "
+        "and print the per-disk parallelism histograms",
+    )
 
 
 def _config(args, n: int | None = None) -> MachineConfig:
@@ -56,6 +75,44 @@ def _config(args, n: int | None = None) -> MachineConfig:
     )
 
 
+def _make_tracer(args):
+    """A JsonlRecorder when --trace was given, else None (zero-cost path)."""
+    if getattr(args, "trace", None) is None:
+        return None
+    try:
+        # fail before the run, not after: a long simulation shouldn't
+        # complete only to lose its trace to an unwritable path
+        with open(args.trace, "w", encoding="utf-8"):
+            pass
+    except OSError as exc:
+        raise SystemExit(f"error: cannot write trace to {args.trace!r}: {exc}")
+    from repro.obs.trace import JsonlRecorder
+
+    return JsonlRecorder()
+
+
+def _write_trace(args, tracer) -> None:
+    if tracer is None:
+        return
+    if args.trace_format == "chrome":
+        n = tracer.write_chrome(args.trace)
+    else:
+        n = tracer.write_jsonl(args.trace)
+    print(f"  trace            : {n} events -> {args.trace} ({args.trace_format})")
+
+
+def _crosscheck(args, report, cfg: MachineConfig) -> None:
+    if not getattr(args, "crosscheck", False):
+        return
+    from repro.obs.costcheck import crosscheck_report
+    from repro.obs.histograms import DiskHistograms
+
+    print()
+    print(crosscheck_report(report, cfg, balanced=args.balanced).render())
+    if report.io.parallel_ios:
+        print(DiskHistograms.from_stats(report.io, cfg.D).render())
+
+
 def _report(label: str, report, cfg: MachineConfig) -> None:
     model = DiskServiceModel()
     print(f"\n{label}")
@@ -68,6 +125,14 @@ def _report(label: str, report, cfg: MachineConfig) -> None:
             f"{report.io_max.parallel_ios} on the busiest processor"
         )
         print(f"  disk utilization : {report.io.utilization(cfg.D):.1%}")
+        if report.io.width_histogram:
+            from repro.obs.histograms import DiskHistograms
+
+            h = DiskHistograms.from_stats(report.io, cfg.D)
+            print(
+                f"  full-D parallel  : {h.full_width_fraction:.1%} of I/Os "
+                f"touch all {cfg.D} disks (mean width {h.mean_width:.2f})"
+            )
         print(
             f"  modeled I/O time : "
             f"{report.io_max.parallel_ios * model.parallel_io_time(cfg.B):.2f}s "
@@ -85,9 +150,12 @@ def cmd_sort(args) -> int:
     rng = np.random.default_rng(args.seed)
     data = rng.integers(0, 2**48, args.n)
     cfg = _config(args)
-    res = em_sort(data, cfg, engine=args.engine, balanced=args.balanced)
+    tracer = _make_tracer(args)
+    res = em_sort(data, cfg, engine=args.engine, balanced=args.balanced, tracer=tracer)
     ok = np.array_equal(res.values, np.sort(data))
     _report(f"sorted {args.n} items: {'OK' if ok else 'MISMATCH'}", res.report, cfg)
+    _write_trace(args, tracer)
+    _crosscheck(args, res.report, cfg)
     return 0 if ok else 1
 
 
@@ -98,11 +166,16 @@ def cmd_permute(args) -> int:
     values = rng.integers(0, 2**48, args.n)
     perm = rng.permutation(args.n)
     cfg = _config(args)
-    res = em_permute(values, perm, cfg, engine=args.engine, balanced=args.balanced)
+    tracer = _make_tracer(args)
+    res = em_permute(
+        values, perm, cfg, engine=args.engine, balanced=args.balanced, tracer=tracer
+    )
     expect = np.zeros(args.n, dtype=np.int64)
     expect[perm] = values
     ok = np.array_equal(res.values, expect)
     _report(f"permuted {args.n} items: {'OK' if ok else 'MISMATCH'}", res.report, cfg)
+    _write_trace(args, tracer)
+    _crosscheck(args, res.report, cfg)
     return 0 if ok else 1
 
 
@@ -112,14 +185,28 @@ def cmd_transpose(args) -> int:
     rng = np.random.default_rng(args.seed)
     mat = rng.integers(0, 2**31, (args.rows, args.cols))
     cfg = _config(args, n=mat.size)
-    res = em_transpose(mat, cfg, engine=args.engine, balanced=args.balanced)
+    tracer = _make_tracer(args)
+    res = em_transpose(
+        mat, cfg, engine=args.engine, balanced=args.balanced, tracer=tracer
+    )
     ok = np.array_equal(res.values, mat.T)
     _report(
         f"transposed {args.rows}x{args.cols}: {'OK' if ok else 'MISMATCH'}",
         res.report,
         cfg,
     )
+    _write_trace(args, tracer)
+    _crosscheck(args, res.report, cfg)
     return 0 if ok else 1
+
+
+def _note_trace_unsupported(args) -> None:
+    if getattr(args, "trace", None) is not None:
+        print(
+            "note: --trace is wired for sort/permute/transpose; "
+            "this command runs without tracing",
+            file=sys.stderr,
+        )
 
 
 def cmd_delaunay(args) -> int:
@@ -127,6 +214,7 @@ def cmd_delaunay(args) -> int:
 
     import repro.algorithms.geometry as geo
 
+    _note_trace_unsupported(args)
     rng = np.random.default_rng(args.seed)
     pts = rng.random((args.n, 2))
     cfg = _config(args, n=3 * args.n)
@@ -148,6 +236,7 @@ def cmd_cc(args) -> int:
 
     from repro.algorithms.graphs import connected_components
 
+    _note_trace_unsupported(args)
     rng = np.random.default_rng(args.seed)
     G = nx.gnm_random_graph(args.n, args.edges, seed=args.seed)
     edges = (
@@ -171,6 +260,7 @@ def cmd_cc(args) -> int:
 def cmd_listrank(args) -> int:
     from repro.algorithms.graphs import list_rank
 
+    _note_trace_unsupported(args)
     rng = np.random.default_rng(args.seed)
     order = rng.permutation(args.n)
     succ = np.full(args.n, -1, dtype=np.int64)

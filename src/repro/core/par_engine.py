@@ -36,6 +36,7 @@ from repro.cgm.program import CGMProgram, Context
 from repro.core.layouts import MessageMatrix, RegionAllocator, consecutive_addresses
 from repro.pdm.block import pack_blocks, unpack_blocks
 from repro.pdm.disk_array import DiskArray
+from repro.pdm.io_stats import IOStats
 from repro.pdm.memory import InternalMemory
 from repro.util.items import ITEM_BYTES, deserialize, serialize
 from repro.util.validation import require
@@ -139,6 +140,14 @@ class ParEMEngine(Engine):
         array.write_blocks(list(zip((a for a, _ in addrs), (t for _, t in addrs), blocks)))
         self._ctx_blocks_io += nblocks
         self._charge(pid, nblocks * self.cfg.B)
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "context_write",
+                pid=pid,
+                real=owner,
+                blocks=nblocks,
+                layout="consecutive",
+            )
 
     def _load_context(self, pid: int) -> Context:
         owner = self._owner(pid)
@@ -148,6 +157,14 @@ class ParEMEngine(Engine):
         blocks = array.read_blocks(addrs)
         self._ctx_blocks_io += nblocks
         self._charge(pid, nblocks * self.cfg.B)
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "context_read",
+                pid=pid,
+                real=owner,
+                blocks=nblocks,
+                layout="consecutive",
+            )
         return Context(deserialize(unpack_blocks(blocks)))
 
     # ------------------------------------------------------------- messages
@@ -190,6 +207,16 @@ class ParEMEngine(Engine):
                 _MetaEntry(src_pid, nblocks, parts, overflow)
             )
             self._msg_blocks_io += nblocks
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    "message_write",
+                    src=src_pid,
+                    dest=dest,
+                    real=owner,
+                    blocks=nblocks,
+                    layout="overflow" if overflow else "staggered",
+                    parity=self._staged_parity,
+                )
         for owner, placements in by_owner.items():
             self.arrays[owner].write_blocks(placements)
         self._release(src_pid)
@@ -212,6 +239,16 @@ class ParEMEngine(Engine):
         )
         blocks = array.read_blocks(addrs)
         self._msg_blocks_io += len(blocks)
+        if self.tracer.enabled and blocks:
+            self.tracer.emit(
+                "message_read",
+                pid=pid,
+                real=owner,
+                blocks=len(blocks),
+                layout="staggered",
+                sources=len(slot_entries),
+                parity=self._ready_parity,
+            )
 
         msgs: list[Message] = []
 
@@ -235,6 +272,15 @@ class ParEMEngine(Engine):
             chunk = array.read_blocks(e.overflow)
             array.free_blocks(e.overflow)
             self._msg_blocks_io += e.nblocks
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    "message_read",
+                    pid=pid,
+                    real=owner,
+                    blocks=e.nblocks,
+                    layout="overflow",
+                    sources=1,
+                )
             unbundle(e, deserialize(unpack_blocks(chunk)))
             self._charge(pid, e.nblocks * cfg.B)
         msgs.sort(key=lambda m: (m.src, m.tag or ""))
@@ -268,6 +314,12 @@ class ParEMEngine(Engine):
         # Lemma 4: one CGM round costs v/p real compound supersteps.
         return self.vpr
 
+    def _io_totals(self) -> IOStats:
+        total = IOStats(D=self.cfg.D)
+        for array in self.arrays:
+            total.merge(array.stats)
+        return total
+
     def _finalize(self, report: CostReport) -> None:
         # release anything still charged (finish() loads contexts)
         for pid in list(self._charged):
@@ -293,9 +345,15 @@ class SeqEMEngine(ParEMEngine):
 
     name = "seq-em"
 
-    def __init__(self, cfg: MachineConfig, balanced: bool = False, validate: bool = True) -> None:
+    def __init__(
+        self,
+        cfg: MachineConfig,
+        balanced: bool = False,
+        validate: bool = True,
+        tracer=None,
+    ) -> None:
         require(cfg.p == 1, f"SeqEMEngine requires p=1, got p={cfg.p}")
-        super().__init__(cfg, balanced=balanced, validate=validate)
+        super().__init__(cfg, balanced=balanced, validate=validate, tracer=tracer)
 
     def _supersteps_per_round(self) -> int:
         return 1

@@ -37,8 +37,15 @@ class VMEngine(InMemoryEngine):
 
     name = "virtual-memory"
 
-    def __init__(self, cfg, balanced: bool = False, validate: bool = True, page_items: int = 512):
-        super().__init__(cfg, balanced=balanced, validate=validate)
+    def __init__(
+        self,
+        cfg,
+        balanced: bool = False,
+        validate: bool = True,
+        page_items: int = 512,
+        tracer=None,
+    ):
+        super().__init__(cfg, balanced=balanced, validate=validate, tracer=tracer)
         self.page_items = page_items
 
     def _start(self, program: CGMProgram) -> None:
@@ -70,27 +77,65 @@ class VMEngine(InMemoryEngine):
     # -- metered backend ------------------------------------------------------
 
     def _store_context(self, pid: int, ctx: Context) -> None:
+        faults0 = self.pager.faults
         self._touch_context(pid, ctx)
         super()._store_context(pid, ctx)
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "context_write",
+                pid=pid,
+                real=0,
+                blocks=self.pager.faults - faults0,
+                layout="paged",
+            )
 
     def _load_context(self, pid: int) -> Context:
         ctx = super()._load_context(pid)
+        faults0 = self.pager.faults
         self._touch_context(pid, ctx)
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "context_read",
+                pid=pid,
+                real=0,
+                blocks=self.pager.faults - faults0,
+                layout="paged",
+            )
         return ctx
 
     def _put_messages(self, src_pid: int, msgs: list[Message]) -> None:
         for m in msgs:
             base = self._alloc(m.size_items)
             self._msg_addr[id(m)] = base
+            faults0 = self.pager.faults
             self.pager.touch_range(base, m.size_items)
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    "message_write",
+                    src=src_pid,
+                    dest=m.dest,
+                    real=0,
+                    blocks=self.pager.faults - faults0,
+                    layout="paged",
+                )
         super()._put_messages(src_pid, msgs)
 
     def _take_inbox(self, pid: int) -> list[Message]:
         msgs = super()._take_inbox(pid)
+        faults0 = self.pager.faults
         for m in msgs:
             base = self._msg_addr.pop(id(m), None)
             if base is not None:
                 self.pager.touch_range(base, m.size_items)
+        if self.tracer.enabled and msgs:
+            self.tracer.emit(
+                "message_read",
+                pid=pid,
+                real=0,
+                blocks=self.pager.faults - faults0,
+                layout="paged",
+                sources=len(msgs),
+            )
         return msgs
 
     def _finalize(self, report: CostReport) -> None:

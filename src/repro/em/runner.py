@@ -29,6 +29,7 @@ from repro.cgm.metrics import CostReport
 from repro.cgm.program import CGMProgram
 from repro.core.par_engine import ParEMEngine, SeqEMEngine
 from repro.core.vm_engine import VMEngine
+from repro.obs.trace import TraceRecorder
 from repro.util.validation import ConfigurationError
 
 _ENGINES = {
@@ -44,6 +45,7 @@ def make_engine(
     engine: str | None = None,
     balanced: bool = False,
     validate: bool = True,
+    tracer: TraceRecorder | None = None,
 ) -> Engine:
     """Engine factory; ``None`` picks seq/par EM from ``cfg.p``."""
     if engine is None:
@@ -54,7 +56,7 @@ def make_engine(
         raise ConfigurationError(
             f"unknown engine {engine!r}; choose from {sorted(_ENGINES)}"
         ) from None
-    return cls(cfg, balanced=balanced, validate=validate)
+    return cls(cfg, balanced=balanced, validate=validate, tracer=tracer)
 
 
 @dataclass
@@ -80,9 +82,10 @@ def em_run(
     engine: str | None = None,
     balanced: bool = False,
     validate: bool = True,
+    tracer: TraceRecorder | None = None,
 ) -> RunResult:
     """Run any CGM program on the selected backend."""
-    return make_engine(cfg, engine, balanced, validate).run(program, inputs)
+    return make_engine(cfg, engine, balanced, validate, tracer).run(program, inputs)
 
 
 def em_sort(
@@ -90,10 +93,13 @@ def em_sort(
     cfg: MachineConfig,
     engine: str | None = None,
     balanced: bool = False,
+    tracer: TraceRecorder | None = None,
 ) -> EMResult:
     """Sort *data* with the simulated CGM sample sort (O(N/(pDB)) I/Os)."""
     data = np.asarray(data)
-    res = em_run(SampleSort(), partition_array(data, cfg.v), cfg, engine, balanced)
+    res = em_run(
+        SampleSort(), partition_array(data, cfg.v), cfg, engine, balanced, tracer=tracer
+    )
     return EMResult(np.concatenate(res.outputs), res)
 
 
@@ -103,6 +109,7 @@ def em_permute(
     cfg: MachineConfig,
     engine: str | None = None,
     balanced: bool = False,
+    tracer: TraceRecorder | None = None,
 ) -> EMResult:
     """Permute int64 *values*: output[destinations[i]] = values[i].
 
@@ -116,7 +123,7 @@ def em_permute(
     inputs = list(
         zip(partition_array(values, cfg.v), partition_array(destinations, cfg.v))
     )
-    res = em_run(CGMPermute(), inputs, cfg, engine, balanced)
+    res = em_run(CGMPermute(), inputs, cfg, engine, balanced, tracer=tracer)
     return EMResult(np.concatenate(res.outputs), res)
 
 
@@ -125,6 +132,7 @@ def em_transpose(
     cfg: MachineConfig,
     engine: str | None = None,
     balanced: bool = False,
+    tracer: TraceRecorder | None = None,
 ) -> EMResult:
     """Transpose a k x ell int64 matrix (O(N/(pDB)) I/Os)."""
     matrix = np.asarray(matrix)
@@ -137,6 +145,6 @@ def em_transpose(
     for band in bands:
         inputs.append((band, row0, k, ell))
         row0 += band.shape[0]
-    res = em_run(CGMTranspose(), inputs, cfg, engine, balanced)
+    res = em_run(CGMTranspose(), inputs, cfg, engine, balanced, tracer=tracer)
     out = np.vstack([o for o in res.outputs if o.size]) if any(o.size for o in res.outputs) else np.zeros((ell, k), dtype=np.int64)
     return EMResult(out, res)

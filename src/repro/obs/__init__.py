@@ -1,0 +1,63 @@
+"""Superstep-level observability for the EM-CGM simulation.
+
+The paper's argument is quantitative — Theorem 1's message-size bounds,
+Theorems 2/3's ``(v/p) * G * O(lambda*mu/(D*B))`` I/O accounting, Figure
+2's fully D-parallel staggered writes — but aggregate counters cannot show
+*where* I/Os happen or whether the predicted costs hold per superstep.
+This package makes those claims observable:
+
+* :mod:`repro.obs.trace` — a structured trace recorder.  Engines emit
+  JSON-lines events (superstep begin/end, context read/write, message
+  read/write, compute round, network transfer) tagged with real/virtual
+  processor, superstep index, layout format and block counts.  The
+  :data:`~repro.obs.trace.NULL_RECORDER` is a disabled no-op and every
+  engine call site is guarded on ``tracer.enabled``, so tracing is
+  zero-cost when off.
+* :mod:`repro.obs.chrome` — exports a recorded trace as a Chrome
+  trace-event JSON array (load in ``chrome://tracing`` / Perfetto).
+* :mod:`repro.obs.histograms` — per-disk utilization and parallel-I/O
+  width histograms computed from :class:`repro.pdm.io_stats.IOStats`,
+  making Observation 2's full-D-parallelism measurable.
+* :mod:`repro.obs.costcheck` — cross-checks a measured
+  :class:`repro.cgm.metrics.CostReport` against the Theorem 2/3 cost
+  predictions derived from the :class:`repro.cgm.config.MachineConfig`.
+"""
+
+from repro.obs.chrome import to_chrome_events, write_chrome_trace
+from repro.obs.trace import (
+    NULL_RECORDER,
+    JsonlRecorder,
+    NullRecorder,
+    TraceRecorder,
+)
+
+# costcheck/histograms pull in the engine stack; the engines import
+# repro.obs.trace — import them lazily to keep the package cycle-free.
+_LAZY = {
+    "CostCheck": "repro.obs.costcheck",
+    "CostCrossCheck": "repro.obs.costcheck",
+    "crosscheck_report": "repro.obs.costcheck",
+    "DiskHistograms": "repro.obs.histograms",
+}
+
+
+def __getattr__(name: str):
+    mod = _LAZY.get(name)
+    if mod is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(mod), name)
+
+__all__ = [
+    "TraceRecorder",
+    "NullRecorder",
+    "JsonlRecorder",
+    "NULL_RECORDER",
+    "to_chrome_events",
+    "write_chrome_trace",
+    "DiskHistograms",
+    "CostCheck",
+    "CostCrossCheck",
+    "crosscheck_report",
+]

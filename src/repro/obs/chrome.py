@@ -1,0 +1,119 @@
+"""Chrome trace-event export: visual timelines of an engine run.
+
+Converts the flat events of :class:`repro.obs.trace.JsonlRecorder` into
+the Chrome trace-event format (the JSON-array flavour), loadable in
+``chrome://tracing`` or https://ui.perfetto.dev.
+
+Mapping:
+
+* ``superstep_begin``/``superstep_end`` become ``B``/``E`` duration pairs
+  on a dedicated "superstep" track (tid 0) of each real processor;
+* ``compute_round`` becomes a complete ``X`` event whose duration is the
+  measured callback wall time, on the virtual processor's own track;
+* context/message/network events become instant ``i`` events carrying
+  their tags in ``args``.
+
+Timestamps are microseconds (the format's unit), taken from each event's
+``ts`` field.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, TextIO
+
+#: event kinds rendered as thread-scoped instants.
+_INSTANT_KINDS = {
+    "context_read",
+    "context_write",
+    "message_write",
+    "message_read",
+    "network_transfer",
+    "run_begin",
+    "run_end",
+}
+
+
+def _us(ev: dict[str, Any]) -> float:
+    return float(ev.get("ts", 0.0)) * 1e6
+
+
+def to_chrome_events(events: list[dict[str, Any]]) -> list[dict[str, Any]]:
+    """Translate recorder events into Chrome trace-event dicts."""
+    out: list[dict[str, Any]] = []
+    for ev in events:
+        kind = ev["kind"]
+        ts = _us(ev)
+        pid = int(ev.get("real", ev.get("src_real", 0)) or 0)
+        args = {
+            k: v
+            for k, v in ev.items()
+            if k not in ("kind", "ts", "seq") and v is not None
+        }
+        if kind == "superstep_begin":
+            out.append(
+                {
+                    "name": f"superstep {ev.get('superstep', '?')}",
+                    "cat": "superstep",
+                    "ph": "B",
+                    "ts": ts,
+                    "pid": pid,
+                    "tid": 0,
+                    "args": args,
+                }
+            )
+        elif kind == "superstep_end":
+            out.append(
+                {
+                    "name": f"superstep {ev.get('superstep', '?')}",
+                    "cat": "superstep",
+                    "ph": "E",
+                    "ts": ts,
+                    "pid": pid,
+                    "tid": 0,
+                    "args": args,
+                }
+            )
+        elif kind == "compute_round":
+            dur = float(ev.get("wall_s", 0.0)) * 1e6
+            out.append(
+                {
+                    "name": f"compute pid={ev.get('pid', '?')}",
+                    "cat": "compute",
+                    "ph": "X",
+                    "ts": max(0.0, ts - dur),
+                    "dur": dur,
+                    "pid": pid,
+                    "tid": 1 + int(ev.get("pid", 0)),
+                    "args": args,
+                }
+            )
+        elif kind in _INSTANT_KINDS:
+            tid = 1 + int(ev.get("pid", ev.get("dest", 0)) or 0)
+            out.append(
+                {
+                    "name": kind,
+                    "cat": "io" if "message" in kind or "context" in kind else "net",
+                    "ph": "i",
+                    "s": "t",
+                    "ts": ts,
+                    "pid": pid,
+                    "tid": tid,
+                    "args": args,
+                }
+            )
+        # unknown kinds are dropped rather than emitting invalid phases
+    return out
+
+
+def write_chrome_trace(
+    events: list[dict[str, Any]], path_or_file: str | TextIO
+) -> int:
+    """Write *events* as a Chrome trace JSON array; returns count written."""
+    chrome = to_chrome_events(events)
+    if hasattr(path_or_file, "write"):
+        json.dump(chrome, path_or_file)  # type: ignore[arg-type]
+    else:
+        with open(path_or_file, "w", encoding="utf-8") as fh:
+            json.dump(chrome, fh)
+    return len(chrome)

@@ -1,0 +1,96 @@
+"""Per-disk utilization and parallel-I/O width histograms.
+
+Observation 2 of the paper claims the staggered message matrix plus the
+consecutive context format keep every parallel I/O *fully D-parallel*.
+:class:`repro.pdm.io_stats.IOStats` now counts, for each parallel I/O,
+how many distinct disks it touched (the *width*) and how many blocks each
+disk serviced; this module turns those counters into the quantities the
+benchmarks and cost cross-checks assert on:
+
+* the **width histogram** — ``width_counts[w]`` parallel I/Os touched
+  exactly ``w`` disks; full D-parallelism means the mass sits at ``w=D``;
+* the **per-disk histogram** — blocks serviced per disk; a balanced
+  striping keeps ``max - min`` within a few partial stripes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.pdm.io_stats import IOStats
+
+
+@dataclass(frozen=True)
+class DiskHistograms:
+    """Digest of one :class:`IOStats`' disk-level behaviour."""
+
+    D: int
+    per_disk_blocks: list[int] = field(default_factory=list)
+    width_counts: list[int] = field(default_factory=list)  #: index = width
+
+    @classmethod
+    def from_stats(cls, stats: IOStats, D: int | None = None) -> "DiskHistograms":
+        d = D if D is not None else (stats.D or len(stats.per_disk_blocks) or 1)
+        per_disk = list(stats.per_disk_blocks) or [0] * d
+        widths = list(stats.width_histogram) or [0] * (d + 1)
+        if len(widths) < d + 1:
+            widths.extend([0] * (d + 1 - len(widths)))
+        return cls(d, per_disk, widths)
+
+    # -- width (parallelism) -------------------------------------------------
+
+    @property
+    def total_ops(self) -> int:
+        return sum(self.width_counts)
+
+    @property
+    def full_width_ops(self) -> int:
+        """Parallel I/Os that touched all D disks."""
+        return self.width_counts[self.D] if self.D < len(self.width_counts) else 0
+
+    @property
+    def full_width_fraction(self) -> float:
+        ops = self.total_ops
+        return self.full_width_ops / ops if ops else 1.0
+
+    @property
+    def mean_width(self) -> float:
+        ops = self.total_ops
+        if not ops:
+            return float(self.D)
+        return sum(w * c for w, c in enumerate(self.width_counts)) / ops
+
+    # -- per-disk balance ----------------------------------------------------
+
+    @property
+    def min_max_blocks(self) -> tuple[int, int]:
+        return min(self.per_disk_blocks), max(self.per_disk_blocks)
+
+    @property
+    def imbalance(self) -> float:
+        """max/mean blocks per disk — 1.0 is perfect striping."""
+        mean = sum(self.per_disk_blocks) / len(self.per_disk_blocks)
+        return max(self.per_disk_blocks) / mean if mean else 1.0
+
+    # -- rendering -----------------------------------------------------------
+
+    def render(self, bar_width: int = 40) -> str:
+        """ASCII rendering for the CLI and benchmark tables."""
+        lines = [f"parallel-I/O width histogram (D={self.D}):"]
+        peak = max(self.width_counts) if any(self.width_counts) else 1
+        for w in range(1, len(self.width_counts)):
+            c = self.width_counts[w]
+            bar = "#" * max(1 if c else 0, round(bar_width * c / peak))
+            lines.append(f"  width {w:>2}: {c:>8}  {bar}")
+        lines.append(
+            f"  full-width fraction: {self.full_width_fraction:.1%}"
+            f"  (mean width {self.mean_width:.2f})"
+        )
+        lines.append("blocks serviced per disk:")
+        peak = max(self.per_disk_blocks) if any(self.per_disk_blocks) else 1
+        for d, c in enumerate(self.per_disk_blocks):
+            bar = "#" * max(1 if c else 0, round(bar_width * c / peak))
+            lines.append(f"  disk {d:>3}: {c:>8}  {bar}")
+        lo, hi = self.min_max_blocks
+        lines.append(f"  balance: min {lo}, max {hi} (imbalance {self.imbalance:.3f})")
+        return "\n".join(lines)

@@ -43,7 +43,7 @@ class DiskArray:
         self.D = D
         self.B = B
         self.disks = [Disk(d) for d in range(D)]
-        self.stats = IOStats(per_disk_blocks=[0] * D)
+        self.stats = IOStats(D=D)
 
     # -- core operation ----------------------------------------------------
 

@@ -20,9 +20,22 @@ from dataclasses import dataclass, field
 from repro.util.items import ITEM_BYTES
 
 
+def _sub(a: list[int], b: list[int]) -> list[int]:
+    """Element-wise a - b, treating missing entries of b as zero."""
+    return [x - (b[i] if i < len(b) else 0) for i, x in enumerate(a)]
+
+
 @dataclass
 class IOStats:
-    """Counters for one disk array (one real processor's D disks)."""
+    """Counters for one disk array (one real processor's D disks).
+
+    Pass ``D`` at construction to size the per-disk and width counters
+    eagerly; stat objects used purely as merge accumulators (e.g. in
+    :class:`repro.cgm.metrics.CostReport`) may leave it ``None`` and adopt
+    a size from the first :meth:`merge`.  :meth:`record` validates its
+    ``D`` argument against the sized counters — a disk array that changed
+    width mid-run is a bug, not something to silently mis-index over.
+    """
 
     parallel_ios: int = 0       #: number of parallel I/O operations issued
     blocks_read: int = 0        #: total blocks moved disk -> memory
@@ -30,11 +43,44 @@ class IOStats:
     read_ops: int = 0           #: parallel I/Os that were reads
     write_ops: int = 0          #: parallel I/Os that were writes
     per_disk_blocks: list[int] = field(default_factory=list)
+    #: width_histogram[w] = parallel I/Os that touched exactly w disks.
+    width_histogram: list[int] = field(default_factory=list)
+    D: int | None = None        #: disk count, when known at construction
+
+    def __post_init__(self) -> None:
+        if self.D is None and self.per_disk_blocks:
+            self.D = len(self.per_disk_blocks)
+        if self.D is not None:
+            if self.D < 1:
+                raise ValueError(f"need at least one disk, got D={self.D}")
+            self._size_counters(self.D)
+
+    def _size_counters(self, D: int) -> None:
+        if not self.per_disk_blocks:
+            self.per_disk_blocks = [0] * D
+        elif len(self.per_disk_blocks) != D:
+            raise ValueError(
+                f"per_disk_blocks sized for {len(self.per_disk_blocks)} disks, "
+                f"but D={D}"
+            )
+        if not self.width_histogram:
+            self.width_histogram = [0] * (D + 1)
+        elif len(self.width_histogram) != D + 1:
+            raise ValueError(
+                f"width_histogram sized for {len(self.width_histogram) - 1} "
+                f"disks, but D={D}"
+            )
 
     def record(self, n_read: int, n_written: int, touched: list[int], D: int) -> None:
         """Record one parallel I/O touching blocks on disks *touched*."""
-        if not self.per_disk_blocks:
-            self.per_disk_blocks = [0] * D
+        if self.D is None:
+            self.D = D
+            self._size_counters(D)
+        elif D != self.D:
+            raise ValueError(
+                f"parallel I/O recorded with D={D} on stats sized for "
+                f"D={self.D} disks"
+            )
         self.parallel_ios += 1
         self.blocks_read += n_read
         self.blocks_written += n_written
@@ -44,6 +90,7 @@ class IOStats:
             self.write_ops += 1
         for d in touched:
             self.per_disk_blocks[d] += 1
+        self.width_histogram[len(touched)] += 1
 
     @property
     def blocks_total(self) -> int:
@@ -61,28 +108,47 @@ class IOStats:
         return G * self.parallel_ios
 
     def merge(self, other: "IOStats") -> None:
-        """Fold another processor's counters into this one (for totals)."""
+        """Fold another processor's counters into this one (for totals).
+
+        An accumulator constructed without ``D`` adopts the first merged
+        stats' disk count; merging arrays of different widths sums the
+        overlapping disks and keeps the wider tail (totals stay exact).
+        """
         self.parallel_ios += other.parallel_ios
         self.blocks_read += other.blocks_read
         self.blocks_written += other.blocks_written
         self.read_ops += other.read_ops
         self.write_ops += other.write_ops
         if other.per_disk_blocks:
-            if not self.per_disk_blocks:
-                self.per_disk_blocks = [0] * len(other.per_disk_blocks)
+            if len(other.per_disk_blocks) > len(self.per_disk_blocks):
+                self.per_disk_blocks.extend(
+                    [0] * (len(other.per_disk_blocks) - len(self.per_disk_blocks))
+                )
             for i, c in enumerate(other.per_disk_blocks):
                 self.per_disk_blocks[i] += c
+        if other.width_histogram:
+            if len(other.width_histogram) > len(self.width_histogram):
+                self.width_histogram.extend(
+                    [0] * (len(other.width_histogram) - len(self.width_histogram))
+                )
+            for i, c in enumerate(other.width_histogram):
+                self.width_histogram[i] += c
+        if self.D is None:
+            self.D = other.D
+        elif other.D is not None:
+            self.D = max(self.D, other.D)
 
     def snapshot(self) -> "IOStats":
-        s = IOStats(
+        return IOStats(
             self.parallel_ios,
             self.blocks_read,
             self.blocks_written,
             self.read_ops,
             self.write_ops,
             list(self.per_disk_blocks),
+            list(self.width_histogram),
+            self.D,
         )
-        return s
 
     def delta_since(self, before: "IOStats") -> "IOStats":
         """Counters accumulated since *before* (a snapshot)."""
@@ -92,9 +158,9 @@ class IOStats:
             self.blocks_written - before.blocks_written,
             self.read_ops - before.read_ops,
             self.write_ops - before.write_ops,
-            [a - b for a, b in zip(self.per_disk_blocks, before.per_disk_blocks)]
-            if self.per_disk_blocks
-            else [],
+            _sub(self.per_disk_blocks, before.per_disk_blocks),
+            _sub(self.width_histogram, before.width_histogram),
+            self.D,
         )
 
 

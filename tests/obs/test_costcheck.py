@@ -1,0 +1,161 @@
+"""Cost-model cross-checks (Theorems 2/3) and the disk histograms.
+
+The pinned envelope constant here (c = 8) is the acceptance bar: balanced
+and direct EM sorting must land measured parallel I/Os inside
+``[predicted/8, predicted*8]`` of the Theorem 3 count
+``(v/p) * lambda * O((mu + h)/(D*B))``.  If an engine regression inflates
+I/O by an order of magnitude — or an accounting bug deflates it — these
+tests fail even though outputs stay correct.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cgm.config import MachineConfig
+from repro.em.runner import em_run, em_sort
+from repro.obs.costcheck import (
+    DEFAULT_ENVELOPE,
+    crosscheck_report,
+    predicted_supersteps,
+    theorem3_io_envelope,
+    theorem3_predicted_ios,
+)
+from repro.obs.histograms import DiskHistograms
+
+PINNED_C = 8.0
+
+
+def _sorted_run(engine="seq", balanced=False, p=1, n=1 << 14):
+    cfg = MachineConfig(N=n, v=8, p=p, D=2, B=64)
+    data = np.random.default_rng(21).integers(0, 2**50, n)
+    return em_sort(data, cfg, engine=engine, balanced=balanced), cfg
+
+
+class TestPredictions:
+    def test_predicted_supersteps_exact(self):
+        cfg = MachineConfig(N=1 << 12, v=8, p=2)
+        assert predicted_supersteps(cfg, rounds=3, engine="seq-em") == 3
+        assert predicted_supersteps(cfg, rounds=3, engine="par-em") == 12
+        assert predicted_supersteps(cfg, 3, "par-em", balanced=True) == 24
+        assert predicted_supersteps(cfg, 3, "in-memory") == 3
+
+    def test_theorem3_io_scales(self):
+        cfg = MachineConfig(N=1 << 14, v=8, D=2, B=64)
+        one = theorem3_predicted_ios(cfg, rounds=1)
+        four = theorem3_predicted_ios(cfg, rounds=4)
+        assert four == pytest.approx(4 * one)
+        # doubling D halves the predicted count
+        cfg2 = MachineConfig(N=1 << 14, v=8, D=4, B=64)
+        assert theorem3_predicted_ios(cfg2, 1) == pytest.approx(one / 2)
+        # balanced routes messages twice: strictly more predicted I/O
+        assert theorem3_predicted_ios(cfg, 2, balanced=True) > theorem3_predicted_ios(
+            cfg, 2
+        )
+
+    def test_envelope_brackets_prediction(self):
+        cfg = MachineConfig(N=1 << 14, v=8, D=2, B=64)
+        lo, hi = theorem3_io_envelope(cfg, rounds=4, c=PINNED_C)
+        pred = theorem3_predicted_ios(cfg, 4)
+        assert lo == pytest.approx(pred / PINNED_C)
+        assert hi == pytest.approx(pred * PINNED_C)
+        assert DEFAULT_ENVELOPE == PINNED_C
+
+
+class TestMeasuredWithinEnvelope:
+    @pytest.mark.parametrize("balanced", [False, True], ids=["direct", "balanced"])
+    def test_seq_sort_within_theorem3(self, balanced):
+        out, cfg = _sorted_run(balanced=balanced)
+        cc = crosscheck_report(out.report, cfg, balanced=balanced, c=PINNED_C)
+        assert cc.ok, cc.render()
+        io = cc["io_per_proc"]
+        assert io.lo <= io.measured <= io.hi
+        net = cc["network_items"]
+        assert net.measured == 0 and net.hi == 0.0  # p=1: nothing on the net
+
+    def test_par_sort_within_theorem3(self):
+        out, cfg = _sorted_run(engine="par", p=2)
+        cc = crosscheck_report(out.report, cfg, c=PINNED_C)
+        assert cc.ok, cc.render()
+        assert cc["network_items"].measured > 0
+
+    def test_supersteps_check_is_exact(self):
+        out, cfg = _sorted_run()
+        cc = crosscheck_report(out.report, cfg)
+        ss = cc["supersteps"]
+        assert ss.lo == ss.hi == ss.measured
+
+    def test_memory_engine_skips_io_checks(self):
+        out, cfg = _sorted_run(engine="memory")
+        cc = crosscheck_report(out.report, cfg)
+        with pytest.raises(KeyError):
+            cc["io_per_proc"]
+        assert cc.ok
+
+
+class TestViolationDetected:
+    def test_inflated_io_fails_the_envelope(self):
+        """A run whose I/O blows past c times the Theorem 3 count must be
+        flagged — this is the regression the cross-check exists to catch."""
+        out, cfg = _sorted_run()
+        report = out.report
+        factor = int(
+            (PINNED_C * 2) * theorem3_predicted_ios(cfg, report.rounds)
+            // max(report.io.parallel_ios, 1)
+            + 1
+        )
+        report.io.parallel_ios *= factor
+        if report.io_max.parallel_ios:
+            report.io_max.parallel_ios *= factor
+        cc = crosscheck_report(report, cfg, c=PINNED_C)
+        assert not cc.ok
+        names = {c.name for c in cc.failures()}
+        assert "io_per_proc" in names or "io_total" in names
+        assert "VIOLATED" in cc.render()
+
+    def test_phantom_network_traffic_on_p1_fails(self):
+        out, cfg = _sorted_run()
+        out.report.cross_items = 10
+        cc = crosscheck_report(out.report, cfg)
+        assert not cc.ok
+        assert cc["network_items"] in cc.failures()
+
+
+class TestDiskHistograms:
+    def test_staggered_writes_touch_all_disks(self):
+        """Acceptance: the staggered message matrix keeps writes D-parallel
+        — an EM sort's histogram shows most ops at width D and every disk
+        servicing blocks."""
+        cfg = MachineConfig(N=1 << 14, v=8, D=4, B=64)
+        data = np.random.default_rng(21).integers(0, 2**50, cfg.N)
+        out = em_sort(data, cfg)
+        hist = DiskHistograms.from_stats(out.report.io, cfg.D)
+        assert hist.full_width_fraction > 0.5
+        assert hist.mean_width > 0.6 * cfg.D
+        lo, hi = hist.min_max_blocks
+        assert lo > 0  # no idle disk
+        assert hist.imbalance < 1.5
+
+    def test_width_accounting(self):
+        h = DiskHistograms(D=3, per_disk_blocks=[5, 5, 2], width_counts=[0, 1, 1, 2])
+        assert h.total_ops == 4
+        assert h.full_width_ops == 2
+        assert h.full_width_fraction == 0.5
+        assert h.mean_width == pytest.approx((1 + 2 + 3 * 2) / 4)
+        assert h.min_max_blocks == (2, 5)
+        assert h.imbalance == pytest.approx(5 / 4)
+
+    def test_from_stats_empty(self):
+        from repro.pdm.io_stats import IOStats
+
+        h = DiskHistograms.from_stats(IOStats(), D=2)
+        assert h.total_ops == 0
+        assert h.full_width_fraction == 1.0
+        assert h.mean_width == 2.0
+
+    def test_render_mentions_every_disk_and_width(self):
+        h = DiskHistograms(D=2, per_disk_blocks=[3, 4], width_counts=[0, 1, 6])
+        text = h.render()
+        for needle in ("width  1", "width  2", "disk   0", "disk   1", "full-width"):
+            assert needle in text, text

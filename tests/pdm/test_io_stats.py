@@ -1,0 +1,133 @@
+"""IOStats counter semantics: eager per-disk sizing, D validation (the
+lazy-sizing mis-indexing regression), the width histogram, and the
+merge/snapshot/delta algebra the engines rely on."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.pdm.disk_array import DiskArray, IOOp
+from repro.pdm.io_stats import IOStats
+
+
+class TestEagerSizing:
+    def test_constructed_with_D_is_sized(self):
+        s = IOStats(D=4)
+        assert s.per_disk_blocks == [0, 0, 0, 0]
+        assert s.width_histogram == [0] * 5
+
+    def test_per_disk_blocks_implies_D(self):
+        s = IOStats(per_disk_blocks=[0, 0, 0])
+        assert s.D == 3
+        assert len(s.width_histogram) == 4
+
+    def test_bad_D_rejected(self):
+        with pytest.raises(ValueError):
+            IOStats(D=0)
+
+    def test_mismatched_presized_lists_rejected(self):
+        with pytest.raises(ValueError):
+            IOStats(per_disk_blocks=[0, 0], D=3)
+
+
+class TestRecordValidation:
+    def test_regression_later_call_with_different_D(self):
+        """The old lazy sizing adopted the first call's D and silently
+        mis-indexed (or IndexError'd) when a later call passed another D —
+        now it raises a clear error immediately."""
+        s = IOStats(D=2)
+        s.record(1, 0, [0], 2)
+        with pytest.raises(ValueError, match="sized for"):
+            s.record(1, 0, [0], 3)
+        with pytest.raises(ValueError, match="sized for"):
+            s.record(0, 1, [0], 1)
+        # counters unchanged by the rejected calls
+        assert s.parallel_ios == 1
+
+    def test_lazy_accumulator_adopts_first_D_then_validates(self):
+        s = IOStats()
+        s.record(1, 1, [0, 2], 3)
+        assert s.D == 3
+        assert s.per_disk_blocks == [1, 0, 1]
+        with pytest.raises(ValueError):
+            s.record(1, 0, [0], 4)
+
+    def test_counts(self):
+        s = IOStats(D=2)
+        s.record(2, 0, [0, 1], 2)
+        s.record(0, 1, [1], 2)
+        assert s.parallel_ios == 2
+        assert s.blocks_read == 2 and s.blocks_written == 1
+        assert s.read_ops == 1 and s.write_ops == 1
+        assert s.per_disk_blocks == [1, 2]
+
+
+class TestWidthHistogram:
+    def test_widths_recorded(self):
+        s = IOStats(D=3)
+        s.record(3, 0, [0, 1, 2], 3)
+        s.record(1, 0, [1], 3)
+        s.record(0, 2, [0, 2], 3)
+        assert s.width_histogram == [0, 1, 1, 1]
+
+    def test_disk_array_populates_widths(self):
+        arr = DiskArray(D=3, B=4)
+        blk = bytes(4 * 8)
+        arr.parallel_io([IOOp(0, 0, blk), IOOp(1, 0, blk), IOOp(2, 0, blk)])
+        arr.parallel_io([IOOp(1, 1, blk)])
+        assert arr.stats.width_histogram == [0, 1, 0, 1]
+        assert arr.stats.per_disk_blocks == [1, 2, 1]
+
+
+class TestAlgebra:
+    def _sample(self) -> IOStats:
+        s = IOStats(D=2)
+        s.record(2, 0, [0, 1], 2)
+        s.record(0, 1, [0], 2)
+        return s
+
+    def test_snapshot_is_independent(self):
+        s = self._sample()
+        snap = s.snapshot()
+        s.record(1, 0, [1], 2)
+        assert snap.parallel_ios == 2
+        assert snap.per_disk_blocks == [2, 1]
+        assert snap.width_histogram == [0, 1, 1]
+        assert s.per_disk_blocks == [2, 2]
+
+    def test_delta_since(self):
+        s = self._sample()
+        snap = s.snapshot()
+        s.record(1, 0, [1], 2)
+        s.record(0, 2, [0, 1], 2)
+        d = s.delta_since(snap)
+        assert d.parallel_ios == 2
+        assert d.blocks_read == 1 and d.blocks_written == 2
+        assert d.per_disk_blocks == [1, 2]
+        assert d.width_histogram == [0, 1, 1]
+
+    def test_delta_since_empty_baseline(self):
+        s = self._sample()
+        d = s.delta_since(IOStats())
+        assert d.parallel_ios == s.parallel_ios
+        assert d.per_disk_blocks == s.per_disk_blocks
+
+    def test_merge_accumulator_adopts_and_sums(self):
+        total = IOStats()
+        a, b = self._sample(), self._sample()
+        total.merge(a)
+        total.merge(b)
+        assert total.D == 2
+        assert total.parallel_ios == 4
+        assert total.per_disk_blocks == [4, 2]
+        assert total.width_histogram == [0, 2, 2]
+
+    def test_merge_wider_array_keeps_tail(self):
+        total = IOStats(D=2)
+        total.record(1, 0, [0], 2)
+        wide = IOStats(D=4)
+        wide.record(4, 0, [0, 1, 2, 3], 4)
+        total.merge(wide)
+        assert total.per_disk_blocks == [2, 1, 1, 1]
+        assert total.width_histogram == [0, 1, 0, 0, 1]
+        assert total.D == 4

@@ -2,9 +2,12 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
+from repro.obs.trace import read_jsonl
 
 
 class TestParser:
@@ -70,3 +73,53 @@ class TestCommands:
     def test_vm_engine(self, capsys):
         assert main(["sort", "--n", "4096", "--v", "4", "--b", "64", "--engine", "vm"]) == 0
         assert "page faults" in capsys.readouterr().out
+
+
+class TestObservabilityFlags:
+    BASE = ["sort", "--n", "4096", "--v", "4", "--b", "64"]
+
+    def test_trace_jsonl(self, tmp_path, capsys):
+        path = tmp_path / "trace.jsonl"
+        assert main(self.BASE + ["--trace", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "trace" in out and str(path) in out
+        events = read_jsonl(str(path))
+        kinds = {e["kind"] for e in events}
+        assert {"run_begin", "superstep_begin", "compute_round", "run_end"} <= kinds
+
+    def test_trace_chrome(self, tmp_path):
+        path = tmp_path / "trace.json"
+        assert main(self.BASE + ["--trace", str(path), "--trace-format", "chrome"]) == 0
+        with open(path, encoding="utf-8") as fh:
+            doc = json.load(fh)
+        assert isinstance(doc, list) and doc
+
+    def test_crosscheck_passes_on_sort(self, capsys):
+        assert main(self.BASE + ["--crosscheck"]) == 0
+        out = capsys.readouterr().out
+        assert "all checks passed" in out
+        assert "width histogram" in out
+
+    def test_crosscheck_balanced(self, capsys):
+        assert main(self.BASE + ["--balanced", "--crosscheck"]) == 0
+        assert "all checks passed" in capsys.readouterr().out
+
+    def test_trace_par_includes_network_events(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        args = ["sort", "--n", "4096", "--v", "4", "--p", "2", "--b", "64",
+                "--trace", str(path)]
+        assert main(args) == 0
+        kinds = {e["kind"] for e in read_jsonl(str(path))}
+        assert "network_transfer" in kinds
+        assert {"superstep_begin", "context_read", "message_write"} <= kinds
+
+    def test_transpose_trace(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        args = ["transpose", "--rows", "32", "--cols", "64", "--v", "4",
+                "--b", "32", "--trace", str(path)]
+        assert main(args) == 0
+        assert read_jsonl(str(path))
+
+    def test_full_width_report_line(self, capsys):
+        assert main(self.BASE) == 0
+        assert "full-D parallel" in capsys.readouterr().out
