@@ -21,6 +21,7 @@ import pytest
 
 from repro.cgm.config import MachineConfig
 from repro.em.runner import em_sort, make_engine
+from repro.util.rng import make_rng
 
 from conftest import print_table
 
@@ -28,13 +29,20 @@ V, D, B = 8, 4, 64
 N = 1 << 15
 
 
-def test_ablation_staggered_layout_utilization():
-    data = np.random.default_rng(0).integers(0, 2**50, N)
+def test_ablation_staggered_layout_utilization(bench_store):
+    data = make_rng(0).integers(0, 2**50, N)
     cfg = MachineConfig(N=N, v=V, D=D, B=B)
     res = em_sort(data, cfg, engine="seq")
     io = res.report.io
     naive_ios = io.blocks_total          # 1 block per I/O, the strawman
     perfect = io.blocks_total / D
+    bench_store.record(
+        "staggered-vs-naive",
+        cfg=cfg,
+        report=res.report,
+        measured={"utilization": io.utilization(D)},
+        predicted={"naive_ios": naive_ios, "perfect_ios": perfect},
+    )
     print_table(
         "Ablation 1: staggered layout vs one-block-per-I/O (D=4)",
         ["discipline", "parallel I/Os", "utilization"],
@@ -68,7 +76,7 @@ def test_ablation_slot_sizing():
     from repro.algorithms.collectives import partition_array
     from repro.algorithms.sorting import SampleSort
 
-    data = np.random.default_rng(1).integers(0, 2**50, N)
+    data = make_rng(1).integers(0, 2**50, N)
     cfg = MachineConfig(N=N, v=V, D=D, B=B)
     inputs = partition_array(data, V)
 
@@ -100,7 +108,7 @@ def test_ablation_slot_sizing():
 
 
 def test_ablation_balancing_tax_on_benign_traffic():
-    data = np.random.default_rng(2).integers(0, 2**50, N)
+    data = make_rng(2).integers(0, 2**50, N)
     cfg = MachineConfig(N=N, v=V, D=D, B=B)
     plain = em_sort(data, cfg, engine="seq")
     balanced = em_sort(data, cfg, engine="seq", balanced=True)
@@ -130,6 +138,6 @@ def test_ablation_balancing_tax_on_benign_traffic():
 
 @pytest.mark.benchmark(group="ablation")
 def test_ablation_benchmark_balanced(benchmark):
-    data = np.random.default_rng(3).integers(0, 2**50, N // 4)
+    data = make_rng(3).integers(0, 2**50, N // 4)
     cfg = MachineConfig(N=data.size, v=V, D=D, B=B)
     benchmark(lambda: em_sort(data, cfg, engine="seq", balanced=True))

@@ -37,7 +37,7 @@ def test_cache_log_term_table():
     assert cache_log_term(N_star, M_I, 16) == pytest.approx(c, rel=1e-6)
 
 
-def test_cache_tuned_vs_naive():
+def test_cache_tuned_vs_naive(bench_store):
     rows = []
     for N in (1 << 14, 1 << 16, 1 << 18):
         out = tuned_vs_naive_traversal(N=N, M_I=1 << 10, B_I=16)
@@ -49,6 +49,14 @@ def test_cache_tuned_vs_naive():
                 out["naive"],
                 f"{out['naive'] / max(out['tuned'], 1):.1f}x",
             ]
+        )
+        bench_store.record(
+            f"tuned-vs-naive/N={N}",
+            measured={
+                "compulsory": out["compulsory"],
+                "tuned": out["tuned"],
+                "naive": out["naive"],
+            },
         )
         assert out["tuned"] < out["naive"] / 2
         assert out["tuned"] <= 4 * out["compulsory"]

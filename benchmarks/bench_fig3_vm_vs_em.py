@@ -22,6 +22,7 @@ import pytest
 from repro.cgm.config import MachineConfig
 from repro.em.runner import em_sort
 from repro.pdm.io_stats import DiskServiceModel
+from repro.util.rng import make_rng
 
 from conftest import print_table
 
@@ -33,7 +34,7 @@ SIZES = [1 << 12, 1 << 14, 1 << 15, 1 << 16, 1 << 17]
 
 
 def run_point(n: int, seed: int = 1):
-    data = np.random.default_rng(seed).integers(0, 2**50, n)
+    data = make_rng(seed).integers(0, 2**50, n)
     cfg = MachineConfig(N=n, v=V, D=D, B=B, M=M)
     vm = em_sort(data, cfg, engine="vm")
     em = em_sort(data, cfg, engine="seq")
@@ -42,6 +43,8 @@ def run_point(n: int, seed: int = 1):
     io_cost = model.parallel_io_time(B)
     return {
         "N": n,
+        "cfg": cfg,
+        "em_report": em.report,
         "vm_faults": vm.report.page_faults,
         "vm_time_s": vm.report.page_faults * fault_cost,
         "em_ios": em.report.io.parallel_ios,
@@ -50,12 +53,19 @@ def run_point(n: int, seed: int = 1):
     }
 
 
-def test_fig3_vm_blowup_vs_em_linear():
+def test_fig3_vm_blowup_vs_em_linear(bench_store):
     rows = []
     points = [run_point(n) for n in SIZES]
     for p in points:
         rows.append(
             [p["N"], p["vm_faults"], f"{p['vm_time_s']:.2f}", p["em_ios"], f"{p['em_time_s']:.2f}"]
+        )
+        bench_store.record(
+            f"sort/N={p['N']}",
+            cfg=p["cfg"],
+            report=p["em_report"],
+            measured={"vm_faults": p["vm_faults"]},
+            timings={"vm_model_s": p["vm_time_s"], "em_model_s": p["em_time_s"]},
         )
     print_table(
         "Figure 3: sorting, virtual memory vs EM-CGM (simulated seconds)",
@@ -79,7 +89,7 @@ def test_fig3_vm_blowup_vs_em_linear():
 
 @pytest.mark.benchmark(group="fig3")
 def test_fig3_benchmark_em_sort(benchmark):
-    data = np.random.default_rng(7).integers(0, 2**50, 1 << 15)
+    data = make_rng(7).integers(0, 2**50, 1 << 15)
     cfg = MachineConfig(N=data.size, v=V, D=D, B=B, M=M)
     out = benchmark(lambda: em_sort(data, cfg, engine="seq"))
     assert np.array_equal(out.values, np.sort(data))
@@ -87,7 +97,7 @@ def test_fig3_benchmark_em_sort(benchmark):
 
 @pytest.mark.benchmark(group="fig3")
 def test_fig3_benchmark_vm_sort(benchmark):
-    data = np.random.default_rng(7).integers(0, 2**50, 1 << 15)
+    data = make_rng(7).integers(0, 2**50, 1 << 15)
     cfg = MachineConfig(N=data.size, v=V, D=D, B=B, M=M)
     out = benchmark(lambda: em_sort(data, cfg, engine="vm"))
     assert np.array_equal(out.values, np.sort(data))
@@ -109,7 +119,7 @@ def test_fig3_disabled_tracing_sanity():
         def emit(self, kind, **tags):  # pragma: no cover - must not run
             raise AssertionError("disabled recorder was invoked")
 
-    data = np.random.default_rng(11).integers(0, 2**50, 1 << 13)
+    data = make_rng(11).integers(0, 2**50, 1 << 13)
     cfg = MachineConfig(N=data.size, v=V, D=D, B=B, M=M)
 
     t0 = time.perf_counter()

@@ -17,6 +17,7 @@ from repro.cgm.config import MachineConfig
 from repro.em.runner import em_sort
 from repro.obs.histograms import DiskHistograms
 from repro.pdm.io_stats import DiskServiceModel
+from repro.util.rng import make_rng
 
 from conftest import print_table
 
@@ -27,23 +28,30 @@ DISKS = [1, 2, 4, 8]
 
 
 def run_point(D: int, seed: int = 3):
-    data = np.random.default_rng(seed).integers(0, 2**50, N)
+    data = make_rng(seed).integers(0, 2**50, N)
     cfg = MachineConfig(N=N, v=V, D=D, B=B)
     res = em_sort(data, cfg, engine="seq")
     model = DiskServiceModel()
     t = res.report.io.parallel_ios * model.parallel_io_time(B)
     util = res.report.io.utilization(D)
     hist = DiskHistograms.from_stats(res.report.io, D)
-    return res.report.io.parallel_ios, t, util, hist
+    return res.report.io.parallel_ios, t, util, hist, cfg, res.report
 
 
-def test_fig4_more_disks_fewer_ios():
+def test_fig4_more_disks_fewer_ios(bench_store):
     rows = []
     ios = {}
     for D in DISKS:
-        n_ios, t, util, hist = run_point(D)
+        n_ios, t, util, hist, cfg, report = run_point(D)
         ios[D] = n_ios
         lo, hi = hist.min_max_blocks
+        bench_store.record(
+            f"sort/D={D}",
+            cfg=cfg,
+            report=report,
+            measured={"full_width_ops": hist.full_width_ops},
+            timings={"io_model_s": t},
+        )
         rows.append(
             [
                 D,
@@ -70,7 +78,7 @@ def test_fig4_utilization_stays_high():
     # the bar loosens slightly with D (still far above the 1/D of a
     # non-staggered layout)
     for D in DISKS:
-        _, _, util, hist = run_point(D)
+        _, _, util, hist, _, _ = run_point(D)
         floor = 0.80 if D <= 2 else 0.65
         assert util > floor, f"D={D}: staggered layout lost parallelism ({util:.2%})"
         # the width histogram says the same thing mechanistically: the
@@ -92,7 +100,7 @@ def test_fig4_utilization_stays_high():
 @pytest.mark.benchmark(group="fig4")
 @pytest.mark.parametrize("D", [1, 2])
 def test_fig4_benchmark(benchmark, D):
-    data = np.random.default_rng(3).integers(0, 2**50, N // 4)
+    data = make_rng(3).integers(0, 2**50, N // 4)
     cfg = MachineConfig(N=data.size, v=V, D=D, B=B)
     out = benchmark(lambda: em_sort(data, cfg, engine="seq"))
     assert np.array_equal(out.values, np.sort(data))

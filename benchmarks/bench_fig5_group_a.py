@@ -21,6 +21,7 @@ from repro.cgm.config import MachineConfig
 from repro.core.theory import em_cgm_sort_ios, predicted_parallel_ios
 from repro.em.baselines import DirectPlacementPermute, MergeSortBaseline
 from repro.em.runner import em_permute, em_sort, em_transpose
+from repro.util.rng import make_rng
 
 from conftest import print_table
 
@@ -28,11 +29,11 @@ V, D, B = 8, 2, 64
 SIZES = [1 << 13, 1 << 14, 1 << 15, 1 << 16]
 
 
-def test_group_a_sorting_linear_io():
+def test_group_a_sorting_linear_io(bench_store):
     rows = []
     prev = None
     for n in SIZES:
-        data = np.random.default_rng(n).integers(0, 2**50, n)
+        data = make_rng(n).integers(0, 2**50, n)
         cfg = MachineConfig(N=n, v=V, D=D, B=B)
         res = em_sort(data, cfg, engine="seq")
         assert np.array_equal(res.values, np.sort(data))
@@ -43,6 +44,10 @@ def test_group_a_sorting_linear_io():
         prev = ios
         predicted = predicted_parallel_ios(V, 1, D, B, res.report.rounds, cfg.mu, cfg.h)
         assert ios <= 4 * predicted
+        bench_store.record(
+            f"sort/N={n}", cfg=cfg, report=res.report,
+            predicted={"em_cgm_sort_ios": target},
+        )
     print_table(
         "Fig 5/A1: EM-CGM sorting I/O (target N/(pDB); doubling ratio ~2)",
         ["N", "parallel I/Os", "N/(pDB)", "x target", "x prev"],
@@ -52,7 +57,7 @@ def test_group_a_sorting_linear_io():
 
 def test_group_a_sort_vs_mergesort_baseline():
     n = 1 << 15
-    data = np.random.default_rng(0).integers(0, 2**50, n)
+    data = make_rng(0).integers(0, 2**50, n)
     M_small = n // 16  # deep merge tree: several passes
     base = MergeSortBaseline(D=D, B=B, M=M_small).sort(data.copy())
     cgm = em_sort(data, MachineConfig(N=n, v=V, D=D, B=B), engine="seq")
@@ -69,10 +74,10 @@ def test_group_a_sort_vs_mergesort_baseline():
     assert cgm.report.io.parallel_ios < 2.5 * base.io.parallel_ios
 
 
-def test_group_a_permutation():
+def test_group_a_permutation(bench_store):
     rows = []
     for n in SIZES[:3]:
-        rng = np.random.default_rng(n)
+        rng = make_rng(n)
         values = rng.integers(0, 2**40, n)
         perm = rng.permutation(n)
         cfg = MachineConfig(N=n, v=V, D=D, B=B)
@@ -81,6 +86,7 @@ def test_group_a_permutation():
         expect[perm] = values
         assert np.array_equal(res.values, expect)
         rows.append([n, res.report.io.parallel_ios, f"{n / (D * B):.0f}"])
+        bench_store.record(f"permute/N={n}", cfg=cfg, report=res.report)
     print_table(
         "Fig 5/A2: EM-CGM permutation I/O (vs min(N/D, sort) classical)",
         ["N", "parallel I/Os", "N/(DB)"],
@@ -90,7 +96,7 @@ def test_group_a_permutation():
 
 def test_group_a_permutation_vs_direct_placement():
     n = 1 << 13
-    rng = np.random.default_rng(5)
+    rng = make_rng(5)
     values = rng.integers(0, 2**40, n)
     perm = rng.permutation(n)
     naive = DirectPlacementPermute(D=D, B=B, M=n // 16).permute(values, perm)
@@ -108,10 +114,10 @@ def test_group_a_permutation_vs_direct_placement():
     assert cgm.report.io.parallel_ios < naive.io.parallel_ios
 
 
-def test_group_a_transpose():
+def test_group_a_transpose(bench_store):
     rows = []
     for k, ell in [(64, 128), (128, 256), (16, 2048)]:
-        rng = np.random.default_rng(k)
+        rng = make_rng(k)
         mat = rng.integers(0, 10**6, (k, ell))
         cfg = MachineConfig(N=mat.size, v=V, D=D, B=B)
         res = em_transpose(mat, cfg, engine="seq")
@@ -119,6 +125,7 @@ def test_group_a_transpose():
         rows.append(
             [f"{k}x{ell}", res.report.io.parallel_ios, f"{mat.size / (D * B):.0f}"]
         )
+        bench_store.record(f"transpose/{k}x{ell}", cfg=cfg, report=res.report)
     print_table(
         "Fig 5/A3: EM-CGM matrix transpose I/O",
         ["k x l", "parallel I/Os", "N/(DB)"],
@@ -129,7 +136,7 @@ def test_group_a_transpose():
 @pytest.mark.benchmark(group="fig5a")
 def test_group_a_benchmark_sort(benchmark):
     n = 1 << 14
-    data = np.random.default_rng(1).integers(0, 2**50, n)
+    data = make_rng(1).integers(0, 2**50, n)
     cfg = MachineConfig(N=n, v=V, D=D, B=B)
     out = benchmark(lambda: em_sort(data, cfg, engine="seq"))
     assert np.array_equal(out.values, np.sort(data))
@@ -138,7 +145,7 @@ def test_group_a_benchmark_sort(benchmark):
 @pytest.mark.benchmark(group="fig5a")
 def test_group_a_benchmark_permute(benchmark):
     n = 1 << 14
-    rng = np.random.default_rng(2)
+    rng = make_rng(2)
     values = rng.integers(0, 2**40, n)
     perm = rng.permutation(n)
     cfg = MachineConfig(N=n, v=V, D=D, B=B)

@@ -29,7 +29,7 @@ def cfg_for_rows(rows: int, width: int) -> MachineConfig:
     return MachineConfig(N=rows * width, v=V, D=D, B=B)
 
 
-def test_group_b_table(rng):
+def test_group_b_table(rng, bench_store):
     rows_out = []
 
     def record(name: str, res, n_items: int, correct: bool):
@@ -41,6 +41,14 @@ def test_group_b_table(rng):
                 res.total_rounds,
                 "yes" if correct else "NO",
             ]
+        )
+        bench_store.record(
+            name,
+            measured={
+                "parallel_ios": int(res.total_parallel_ios),
+                "rounds": int(res.total_rounds),
+            },
+            predicted={"target_ios_n_over_db": n_items / (D * B)},
         )
         assert correct, name
 

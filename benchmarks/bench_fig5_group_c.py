@@ -26,6 +26,7 @@ from repro.algorithms.graphs import (
 )
 from repro.algorithms.graphs.tree_contraction import eval_expression_direct
 from repro.cgm.config import MachineConfig
+from repro.util.rng import make_rng
 
 from conftest import print_table
 
@@ -33,14 +34,14 @@ V, D, B = 4, 2, 32
 
 
 def random_list(n: int, seed: int):
-    order = np.random.default_rng(seed).permutation(n)
+    order = make_rng(seed).permutation(n)
     succ = np.full(n, -1, dtype=np.int64)
     for a, b in zip(order[:-1], order[1:]):
         succ[a] = b
     return succ, order
 
 
-def test_group_c_table():
+def test_group_c_table(bench_store):
     rows_out = []
 
     def record(name, res, n_items, correct):
@@ -52,6 +53,14 @@ def test_group_c_table():
                 res.total_rounds,
                 "yes" if correct else "NO",
             ]
+        )
+        bench_store.record(
+            name,
+            measured={
+                "parallel_ios": int(res.total_parallel_ios),
+                "rounds": int(res.total_rounds),
+            },
+            predicted={"target_ios_nlogv_over_db": n_items * math.log2(V) / (D * B)},
         )
         assert correct, name
 
@@ -72,7 +81,7 @@ def test_group_c_table():
     ok = all(res.values["depth"][u] == depth_nx[u] for u in range(n))
     record("Euler tour + tree measures", res, 2 * n, ok)
 
-    queries = np.random.default_rng(3).integers(0, n, (n // 2, 2))
+    queries = make_rng(3).integers(0, n, (n // 2, 2))
     res = lowest_common_ancestors(edges, queries, n, cfg, engine="seq")
     record("batched LCA", res, 2 * n, res.values.shape[0] == n // 2)
 
@@ -92,7 +101,7 @@ def test_group_c_table():
     record("biconnected components", res, n + len(gedges), ok)
 
     # expression tree evaluation
-    rng = np.random.default_rng(5)
+    rng = make_rng(5)
     parent = np.full(n, -1, dtype=np.int64)
     op = rng.integers(0, 2, n)
     val = rng.uniform(0.5, 1.5, n)
@@ -112,7 +121,7 @@ def test_group_c_table():
 
     # ear decomposition on a biconnected graph
     H = nx.cycle_graph(n // 4)
-    rng2 = np.random.default_rng(6)
+    rng2 = make_rng(6)
     extra = n // 8
     while extra:
         a, b = map(int, rng2.integers(0, n // 4, 2))

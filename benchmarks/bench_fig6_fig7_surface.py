@@ -28,7 +28,7 @@ from repro.core.theory import (
 from conftest import print_table
 
 
-def test_fig6_surface_table():
+def test_fig6_surface_table(bench_store):
     B = 1e3
     v_values = np.array([10.0, 100.0, 1000.0, 10_000.0])
     rows = []
@@ -40,6 +40,15 @@ def test_fig6_surface_table():
                 f"{min_problem_size(v, B, 3.0):.3g}",
                 f"{min_problem_size(v, B, 4.0):.3g}",
             ]
+        )
+        bench_store.record(
+            f"surface/v={int(v)}",
+            measured={
+                "min_N_c2": min_problem_size(v, B, 2.0),
+                "min_N_c3": min_problem_size(v, B, 3.0),
+                "min_N_c4": min_problem_size(v, B, 4.0),
+            },
+            B_items=int(B),
         )
     print_table(
         "Figure 6: minimum N for log-term <= c (B = 10^3 items)",

@@ -17,7 +17,7 @@ from repro.pdm.io_stats import DiskServiceModel
 from conftest import print_table
 
 
-def test_fig8_throughput_curve():
+def test_fig8_throughput_curve(bench_store):
     model = DiskServiceModel()
     rows = []
     sizes = [2**k for k in range(9, 21)]  # 512 B .. 1 MB
@@ -25,6 +25,13 @@ def test_fig8_throughput_curve():
     for s in sizes:
         th = model.throughput(s)
         rows.append([s, f"{th / 1e6:.3f}", f"{th / model.transfer_rate_bytes_per_s:.1%}"])
+        bench_store.record(
+            f"throughput/block={s}",
+            measured={
+                "throughput_mb_s": th / 1e6,
+                "fraction_of_raw": th / model.transfer_rate_bytes_per_s,
+            },
+        )
         if prev is not None:
             assert th > prev
         prev = th

@@ -38,7 +38,7 @@ def adversarial_h_relation(v: int, h: int, seed: int):
     return out
 
 
-def test_theorem1_bounds_adversarial():
+def test_theorem1_bounds_adversarial(bench_store):
     rows = []
     for v in (4, 8, 16):
         h = 64 * v
@@ -51,6 +51,12 @@ def test_theorem1_bounds_adversarial():
             worst_max = max(worst_max, int(sizes.max()))
             worst_min = min(worst_min, int(sizes.min()))
         rows.append([v, h, h, f"[{lo:.1f}, {hi:.1f}]", worst_min, worst_max])
+        bench_store.record(
+            f"adversarial/v={v}",
+            measured={"msg_min": worst_min, "msg_max": worst_max},
+            predicted={"bound_lo": lo, "bound_hi": hi},
+            h=h,
+        )
         assert lo <= worst_min and worst_max <= hi
     print_table(
         "Theorem 1: adversarial all-to-one h-relation, phase-A message sizes",

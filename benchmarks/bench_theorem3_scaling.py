@@ -17,6 +17,7 @@ import pytest
 from repro.cgm.config import MachineConfig
 from repro.core.theory import predicted_parallel_ios
 from repro.em.runner import em_sort
+from repro.util.rng import make_rng
 
 from conftest import print_table
 
@@ -24,8 +25,8 @@ V, D, B = 8, 2, 64
 N = 1 << 15
 
 
-def test_theorem3_processor_scaling():
-    data = np.random.default_rng(0).integers(0, 2**50, N)
+def test_theorem3_processor_scaling(bench_store):
+    data = make_rng(0).integers(0, 2**50, N)
     rows = []
     per_proc = {}
     for p in (1, 2, 4, 8):
@@ -45,6 +46,7 @@ def test_theorem3_processor_scaling():
                 res.report.cross_items,
             ]
         )
+        bench_store.record(f"sort/p={p}", cfg=cfg, report=res.report)
         assert io_pp <= 4 * predicted
     print_table(
         f"Theorem 3: EM-CGM sort, N={N}, v={V}, p sweep",
@@ -59,7 +61,7 @@ def test_theorem3_processor_scaling():
 
 def test_theorem3_superstep_blowup():
     """X = lambda * v/p on the parallel machine (Lemma 4)."""
-    data = np.random.default_rng(1).integers(0, 2**50, N)
+    data = make_rng(1).integers(0, 2**50, N)
     for p in (2, 4):
         cfg = MachineConfig(N=N, v=V, p=p, D=D, B=B)
         res = em_sort(data, cfg, engine="par")
@@ -69,7 +71,7 @@ def test_theorem3_superstep_blowup():
 def test_theorem3_network_traffic_only_cross_processor():
     """Messages between virtual processors on the same real processor
     stay local: cross-network volume shrinks as p drops."""
-    data = np.random.default_rng(2).integers(0, 2**50, N)
+    data = make_rng(2).integers(0, 2**50, N)
     cross = {}
     for p in (2, 8):
         cfg = MachineConfig(N=N, v=V, p=p, D=D, B=B)
@@ -81,7 +83,7 @@ def test_theorem3_network_traffic_only_cross_processor():
 @pytest.mark.benchmark(group="theorem3")
 @pytest.mark.parametrize("p", [1, 4])
 def test_theorem3_benchmark(benchmark, p):
-    data = np.random.default_rng(3).integers(0, 2**50, N // 4)
+    data = make_rng(3).integers(0, 2**50, N // 4)
     cfg = MachineConfig(N=data.size, v=V, p=p, D=D, B=B)
     out = benchmark(lambda: em_sort(data, cfg, engine="par" if p > 1 else "seq"))
     assert np.array_equal(out.values, np.sort(data))

@@ -1,43 +1,55 @@
 """Shared helpers for the reproduction benchmarks.
 
 Every module regenerates one table/figure of the paper: it prints the
-paper-style rows (the reproducible artifact) and feeds one representative
-configuration through pytest-benchmark for timing.  I/O counts, round
-counts and message-size bounds are deterministic; wall-clock numbers are
-this machine's, not 1998 Pentiums' — EXPERIMENTS.md records the shape
-comparisons.
+paper-style rows (the reproducible artifact), records the same numbers
+into a :class:`repro.obs.bench_store.BenchStore` via the ``bench_store``
+fixture, and feeds one representative configuration through
+pytest-benchmark for timing.  I/O counts, round counts and message-size
+bounds are deterministic; wall-clock numbers are this machine's, not 1998
+Pentiums' — EXPERIMENTS.md records the shape comparisons.
+
+At session end each module that recorded points gets one schema-versioned
+``BENCH_<suite>.json`` written to ``$REPRO_BENCH_DIR`` (default: the
+current directory).  ``python -m repro bench`` runs these modules
+headlessly and gates the artifacts against committed baselines with
+``repro bench --compare``.
 """
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
+from repro.obs.bench_store import BenchStore
+from repro.util.rng import make_rng
+from repro.util.tables import fmt_cell as _fmt  # noqa: F401  (bench modules import)
+from repro.util.tables import print_table  # noqa: F401  (re-export for bench modules)
 
-def print_table(title: str, headers: list[str], rows: list[list]) -> None:
-    """Render a compact fixed-width table to stdout (shown with -s)."""
-    widths = [
-        max(len(str(h)), *(len(_fmt(r[i])) for r in rows)) if rows else len(str(h))
-        for i, h in enumerate(headers)
-    ]
-    line = "  ".join(str(h).rjust(w) for h, w in zip(headers, widths))
-    print(f"\n=== {title} ===")
-    print(line)
-    print("-" * len(line))
-    for r in rows:
-        print("  ".join(_fmt(c).rjust(w) for c, w in zip(r, widths)))
+#: one store per bench module, written out at session finish.
+_STORES: dict[str, BenchStore] = {}
 
 
-def _fmt(x) -> str:
-    if isinstance(x, float):
-        if x == 0:
-            return "0"
-        if abs(x) >= 1000 or abs(x) < 0.01:
-            return f"{x:.3g}"
-        return f"{x:.3f}"
-    return str(x)
+@pytest.fixture
+def bench_store(request) -> BenchStore:
+    """The module's shared result store (suite name = module sans bench_)."""
+    module = request.module.__name__
+    store = _STORES.get(module)
+    if store is None:
+        store = BenchStore(module.removeprefix("bench_"))
+        _STORES[module] = store
+    return store
+
+
+def pytest_sessionfinish(session, exitstatus):
+    out_dir = os.environ.get("REPRO_BENCH_DIR", ".")
+    for store in _STORES.values():
+        if store.points:
+            path = store.write(out_dir)
+            print(f"\nbench store: {len(store.points)} points -> {path}")
 
 
 @pytest.fixture
 def rng() -> np.random.Generator:
-    return np.random.default_rng(20260704)
+    return make_rng(20260704)

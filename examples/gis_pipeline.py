@@ -23,6 +23,7 @@ import numpy as np
 
 import repro.algorithms.geometry as geo
 from repro.cgm.config import MachineConfig
+from repro.util.rng import make_rng
 
 
 def make_territory(rng: np.random.Generator, n_sites: int):
@@ -41,7 +42,7 @@ def make_territory(rng: np.random.Generator, n_sites: int):
 
 
 def main() -> None:
-    rng = np.random.default_rng(7)
+    rng = make_rng(7)
     n_sites = 3000
     sites, segs, rects = make_territory(rng, n_sites)
     cfg = MachineConfig(N=3 * n_sites, v=8, D=2, B=128)

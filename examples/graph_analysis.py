@@ -28,6 +28,7 @@ from repro.algorithms.graphs import (
 )
 from repro.algorithms.graphs.tree_contraction import OP_ADD, OP_MUL
 from repro.cgm.config import MachineConfig
+from repro.util.rng import make_rng
 
 
 def make_network(rng: np.random.Generator, n: int):
@@ -44,7 +45,7 @@ def make_network(rng: np.random.Generator, n: int):
 
 
 def main() -> None:
-    rng = np.random.default_rng(11)
+    rng = make_rng(11)
     n = 1200
     edges = make_network(rng, n)
     cfg = MachineConfig(N=n, v=8, D=2, B=64)

@@ -20,11 +20,12 @@ import numpy as np
 from repro import MachineConfig, em_sort
 from repro.core.theory import em_cgm_sort_ios, sort_lower_bound_ios
 from repro.pdm.io_stats import DiskServiceModel
+from repro.util.rng import make_rng
 
 
 def main() -> None:
     n = 1 << 16
-    rng = np.random.default_rng(42)
+    rng = make_rng(42)
     data = rng.integers(0, 2**48, n)
 
     cfg = MachineConfig(N=n, v=8, D=2, B=512, M=1 << 15)

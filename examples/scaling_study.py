@@ -14,12 +14,13 @@ import numpy as np
 
 from repro import MachineConfig, em_sort
 from repro.pdm.io_stats import DiskServiceModel
+from repro.util.rng import make_rng
 
 
 def main() -> None:
     n = 1 << 16
     v = 8
-    data = np.random.default_rng(3).integers(0, 2**48, n)
+    data = make_rng(3).integers(0, 2**48, n)
     expect = np.sort(data)
     model = DiskServiceModel()
 

@@ -35,6 +35,7 @@ from repro.cgm.config import MachineConfig
 from repro.cgm.message import Message
 from repro.cgm.metrics import CostReport, RoundMetrics
 from repro.cgm.program import CGMProgram, Context, RoundEnv
+from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry
 from repro.obs.trace import NULL_RECORDER, TraceRecorder
 from repro.util.rng import spawn_rngs
 from repro.util.validation import ConfigurationError, SimulationError
@@ -66,6 +67,7 @@ class Engine:
         balanced: bool = False,
         validate: bool = True,
         tracer: TraceRecorder | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         self.cfg = cfg
         self.balanced = balanced
@@ -75,6 +77,9 @@ class Engine:
         #: Call sites must guard on ``self.tracer.enabled`` so the disabled
         #: path never constructs an event payload.
         self.tracer = tracer if tracer is not None else NULL_RECORDER
+        #: metrics registry; same contract as the tracer — guard every
+        #: emission on ``self.metrics.enabled``.
+        self.metrics = metrics if metrics is not None else NULL_REGISTRY
 
     # ------------------------------------------------------------------ hooks
 
@@ -144,6 +149,19 @@ class Engine:
         report = CostReport(engine=self.name)
         self._max_message_items = program.max_message_items(cfg)
         self._start(program)
+        mx = self.metrics
+        labels = (
+            dict(
+                engine=self.name,
+                algorithm=program.name,
+                v=cfg.v,
+                p=cfg.p,
+                D=cfg.D,
+                B=cfg.B,
+            )
+            if mx.enabled
+            else {}
+        )
         tr = self.tracer
         if tr.enabled:
             tr.emit(
@@ -245,6 +263,35 @@ class Engine:
                     h_out=rm.h_out,
                     parallel_ios=rm.io.parallel_ios,
                     blocks=rm.io.blocks_total,
+                    width_hist=list(rm.io.width_histogram) or None,
+                )
+            if mx.enabled:
+                mx.counter(
+                    "repro_rounds_total", "CGM rounds executed"
+                ).labels(**labels).inc()
+                mx.counter(
+                    "repro_parallel_ios_total", "PDM parallel I/O operations"
+                ).labels(**labels).inc(rm.io.parallel_ios)
+                mx.counter(
+                    "repro_blocks_total", "disk blocks moved"
+                ).labels(**labels).inc(rm.io.blocks_total)
+                mx.counter(
+                    "repro_comm_items_total", "items communicated"
+                ).labels(**labels).inc(rm.comm_items)
+                mx.counter(
+                    "repro_cross_items_total", "items over the real network"
+                ).labels(**labels).inc(rm.cross_items)
+                mx.timer(
+                    "repro_compute_seconds", "measured round-callback wall time"
+                ).labels(**labels).observe(rm.comp_wall_s)
+                mx.highwater(
+                    "repro_h_relation_max_items", "largest h-relation seen"
+                ).labels(**labels).update(rm.h)
+                mx.gauge(
+                    "repro_superstep_parallel_ios",
+                    "parallel I/Os per superstep group (one CGM round)",
+                ).labels(**labels, superstep=report.supersteps, round=r).set(
+                    rm.io.parallel_ios
                 )
             self._round_boundary(r)
             r += 1
@@ -258,6 +305,14 @@ class Engine:
 
         outputs = [program.finish(self._load_context(pid)) for pid in range(v)]
         self._finalize(report)
+        if mx.enabled:
+            mx.counter("repro_runs_total", "engine executions").labels(**labels).inc()
+            mx.gauge(
+                "repro_supersteps", "real-machine supersteps of the last run"
+            ).labels(**labels).set(report.supersteps)
+            mx.highwater(
+                "repro_peak_memory_items", "peak internal-memory footprint"
+            ).labels(**labels).update(report.peak_memory_items)
         if tr.enabled:
             tr.emit(
                 "run_end",

@@ -61,6 +61,13 @@ def _add_machine_args(p: argparse.ArgumentParser, n_default: int = 1 << 16) -> N
         help="check measured costs against the Theorem 2/3 predictions "
         "and print the per-disk parallelism histograms",
     )
+    p.add_argument(
+        "--metrics",
+        metavar="PATH",
+        default=None,
+        help="write the run's metrics registry to PATH "
+        "(.json -> JSON snapshot, anything else -> Prometheus text)",
+    )
 
 
 def _config(args, n: int | None = None) -> MachineConfig:
@@ -99,6 +106,23 @@ def _write_trace(args, tracer) -> None:
     else:
         n = tracer.write_jsonl(args.trace)
     print(f"  trace            : {n} events -> {args.trace} ({args.trace_format})")
+
+
+def _make_metrics(args):
+    """A live MetricsRegistry when --metrics was given, else None."""
+    if getattr(args, "metrics", None) is None:
+        return None
+    from repro.obs.metrics import MetricsRegistry
+
+    return MetricsRegistry()
+
+
+def _write_metrics(args, registry) -> None:
+    if registry is None:
+        return
+    registry.write(args.metrics)
+    kind = "json snapshot" if str(args.metrics).endswith(".json") else "prometheus text"
+    print(f"  metrics          : {len(registry.metrics)} families -> {args.metrics} ({kind})")
 
 
 def _crosscheck(args, report, cfg: MachineConfig) -> None:
@@ -151,10 +175,15 @@ def cmd_sort(args) -> int:
     data = rng.integers(0, 2**48, args.n)
     cfg = _config(args)
     tracer = _make_tracer(args)
-    res = em_sort(data, cfg, engine=args.engine, balanced=args.balanced, tracer=tracer)
+    registry = _make_metrics(args)
+    res = em_sort(
+        data, cfg, engine=args.engine, balanced=args.balanced,
+        tracer=tracer, metrics=registry,
+    )
     ok = np.array_equal(res.values, np.sort(data))
     _report(f"sorted {args.n} items: {'OK' if ok else 'MISMATCH'}", res.report, cfg)
     _write_trace(args, tracer)
+    _write_metrics(args, registry)
     _crosscheck(args, res.report, cfg)
     return 0 if ok else 1
 
@@ -167,14 +196,17 @@ def cmd_permute(args) -> int:
     perm = rng.permutation(args.n)
     cfg = _config(args)
     tracer = _make_tracer(args)
+    registry = _make_metrics(args)
     res = em_permute(
-        values, perm, cfg, engine=args.engine, balanced=args.balanced, tracer=tracer
+        values, perm, cfg, engine=args.engine, balanced=args.balanced,
+        tracer=tracer, metrics=registry,
     )
     expect = np.zeros(args.n, dtype=np.int64)
     expect[perm] = values
     ok = np.array_equal(res.values, expect)
     _report(f"permuted {args.n} items: {'OK' if ok else 'MISMATCH'}", res.report, cfg)
     _write_trace(args, tracer)
+    _write_metrics(args, registry)
     _crosscheck(args, res.report, cfg)
     return 0 if ok else 1
 
@@ -186,8 +218,10 @@ def cmd_transpose(args) -> int:
     mat = rng.integers(0, 2**31, (args.rows, args.cols))
     cfg = _config(args, n=mat.size)
     tracer = _make_tracer(args)
+    registry = _make_metrics(args)
     res = em_transpose(
-        mat, cfg, engine=args.engine, balanced=args.balanced, tracer=tracer
+        mat, cfg, engine=args.engine, balanced=args.balanced,
+        tracer=tracer, metrics=registry,
     )
     ok = np.array_equal(res.values, mat.T)
     _report(
@@ -196,17 +230,19 @@ def cmd_transpose(args) -> int:
         cfg,
     )
     _write_trace(args, tracer)
+    _write_metrics(args, registry)
     _crosscheck(args, res.report, cfg)
     return 0 if ok else 1
 
 
 def _note_trace_unsupported(args) -> None:
-    if getattr(args, "trace", None) is not None:
-        print(
-            "note: --trace is wired for sort/permute/transpose; "
-            "this command runs without tracing",
-            file=sys.stderr,
-        )
+    for flag in ("trace", "metrics"):
+        if getattr(args, flag, None) is not None:
+            print(
+                f"note: --{flag} is wired for sort/permute/transpose; "
+                f"this command runs without it",
+                file=sys.stderr,
+            )
 
 
 def cmd_delaunay(args) -> int:
@@ -310,11 +346,121 @@ def cmd_machine(args) -> int:
     return 0
 
 
+def cmd_analyze(args) -> int:
+    from repro.obs.analyze import analyze_file
+
+    try:
+        analysis = analyze_file(args.trace, envelope_c=args.envelope)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        import json
+
+        print(json.dumps(analysis.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(analysis.render())
+    return 0 if analysis.ok else 1
+
+
+def _benchmarks_dir(args) -> "str | None":
+    """Locate the benchmarks/ directory (source checkout layout)."""
+    import os
+
+    candidates = []
+    if getattr(args, "benchmarks_dir", None):
+        candidates.append(args.benchmarks_dir)
+    here = os.path.dirname(os.path.abspath(__file__))
+    candidates.append(os.path.join(here, "..", "..", "benchmarks"))
+    candidates.append(os.path.join(os.getcwd(), "benchmarks"))
+    for c in candidates:
+        c = os.path.abspath(c)
+        if os.path.isdir(c):
+            return c
+    return None
+
+
+def _bench_suites(bench_dir: str) -> dict[str, str]:
+    """suite name -> module path for every ``bench_*.py``."""
+    import glob
+    import os
+
+    out = {}
+    for path in sorted(glob.glob(os.path.join(bench_dir, "bench_*.py"))):
+        stem = os.path.splitext(os.path.basename(path))[0]
+        out[stem.removeprefix("bench_")] = path
+    return out
+
+
+def cmd_bench(args) -> int:
+    import os
+    import subprocess
+
+    if args.compare:
+        from repro.obs.bench_store import compare, load
+
+        try:
+            old, new = load(args.compare[0]), load(args.compare[1])
+            result = compare(
+                old,
+                new,
+                io_rtol=args.io_rtol,
+                time_rtol=None if args.ignore_timings else args.time_rtol,
+            )
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(result.render())
+        return 0 if result.ok else 1
+
+    bench_dir = _benchmarks_dir(args)
+    if bench_dir is None:
+        print(
+            "error: benchmarks/ directory not found — run from a source "
+            "checkout or pass --benchmarks-dir",
+            file=sys.stderr,
+        )
+        return 2
+    suites = _bench_suites(bench_dir)
+    if args.list:
+        for name in suites:
+            print(name)
+        return 0
+    wanted = args.suites or ["all"]
+    if wanted == ["all"]:
+        selected = list(suites.values())
+    else:
+        missing = [s for s in wanted if s not in suites]
+        if missing:
+            print(
+                f"error: unknown suite(s) {', '.join(missing)}; "
+                f"available: {', '.join(suites)}",
+                file=sys.stderr,
+            )
+            return 2
+        selected = [suites[s] for s in wanted]
+    env = dict(os.environ)
+    env["REPRO_BENCH_DIR"] = os.path.abspath(args.out)
+    src_root = os.path.abspath(os.path.join(os.path.dirname(__file__), ".."))
+    env["PYTHONPATH"] = src_root + os.pathsep + env.get("PYTHONPATH", "")
+    cmd = [
+        sys.executable, "-m", "pytest", *selected,
+        "-q", "-s", "--benchmark-disable", "-p", "no:cacheprovider",
+    ]
+    proc = subprocess.run(cmd, cwd=os.path.dirname(bench_dir), env=env)
+    return proc.returncode
+
+
 def build_parser() -> argparse.ArgumentParser:
+    from repro import __version__
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="EM-CGM: external-memory algorithms by simulating "
         "coarse grained parallel algorithms (Dehne et al., IPPS 1999)",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -344,14 +490,77 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--check", type=float, nargs=2, metavar=("N", "V"), default=None)
     p.set_defaults(fn=cmd_theory)
 
+    p = sub.add_parser(
+        "analyze",
+        help="per-superstep aggregation of a --trace jsonl file, checked "
+        "against the Theorem 2/3 I/O envelopes",
+    )
+    p.add_argument("trace", help="trace file written by --trace (jsonl format)")
+    p.add_argument(
+        "--envelope",
+        type=float,
+        default=8.0,
+        metavar="C",
+        help="constant-factor envelope [pred/C, pred*C] (default: 8)",
+    )
+    p.add_argument("--json", action="store_true", help="emit JSON instead of tables")
+    p.set_defaults(fn=cmd_analyze)
+
+    p = sub.add_parser(
+        "bench",
+        help="run benchmark suites headlessly (writes BENCH_<suite>.json) "
+        "or gate two result files with --compare",
+    )
+    p.add_argument(
+        "suites",
+        nargs="*",
+        help="suite names (see --list) or 'all' (default)",
+    )
+    p.add_argument("--list", action="store_true", help="list available suites")
+    p.add_argument(
+        "--out", default="bench_out", help="directory for BENCH_*.json artifacts"
+    )
+    p.add_argument("--benchmarks-dir", default=None, help="override benchmarks/ path")
+    p.add_argument(
+        "--compare",
+        nargs=2,
+        metavar=("OLD", "NEW"),
+        help="regression gate: compare a new BENCH json against a baseline",
+    )
+    p.add_argument(
+        "--io-rtol",
+        type=float,
+        default=0.0,
+        help="relative tolerance on measured counters (default 0 = exact)",
+    )
+    p.add_argument(
+        "--time-rtol",
+        type=float,
+        default=0.5,
+        help="relative tolerance on timings (default 0.5)",
+    )
+    p.add_argument(
+        "--ignore-timings",
+        action="store_true",
+        help="skip timing comparisons (cross-machine gating)",
+    )
+    p.set_defaults(fn=cmd_bench)
+
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    fn = getattr(args, "fn", None)
+    if fn is None:
+        # unreachable with required=True, but argparse quirks (e.g. a bare
+        # abbreviation match) must not fall through to an AttributeError
+        parser.print_usage(sys.stderr)
+        return 2
     if getattr(args, "command", None) == "cc" and args.edges is None:
         args.edges = 2 * args.n
-    return args.fn(args)
+    return fn(args)
 
 
 if __name__ == "__main__":

@@ -334,6 +334,18 @@ class ParEMEngine(Engine):
         report.context_blocks_io = self._ctx_blocks_io
         report.message_blocks_io = self._msg_blocks_io
         report.overflow_blocks = self._overflow_blocks
+        if self.metrics.enabled:
+            labels = dict(engine=self.name, p=self.cfg.p, D=self.cfg.D, B=self.cfg.B)
+            mx = self.metrics
+            mx.counter(
+                "repro_context_blocks_total", "blocks moved for context swapping"
+            ).labels(**labels).inc(self._ctx_blocks_io)
+            mx.counter(
+                "repro_message_blocks_total", "blocks moved for message traffic"
+            ).labels(**labels).inc(self._msg_blocks_io)
+            mx.counter(
+                "repro_overflow_blocks_total", "staggered-slot overflow spills"
+            ).labels(**labels).inc(self._overflow_blocks)
 
 
 class SeqEMEngine(ParEMEngine):
@@ -351,9 +363,12 @@ class SeqEMEngine(ParEMEngine):
         balanced: bool = False,
         validate: bool = True,
         tracer=None,
+        metrics=None,
     ) -> None:
         require(cfg.p == 1, f"SeqEMEngine requires p=1, got p={cfg.p}")
-        super().__init__(cfg, balanced=balanced, validate=validate, tracer=tracer)
+        super().__init__(
+            cfg, balanced=balanced, validate=validate, tracer=tracer, metrics=metrics
+        )
 
     def _supersteps_per_round(self) -> int:
         return 1

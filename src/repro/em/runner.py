@@ -29,6 +29,7 @@ from repro.cgm.metrics import CostReport
 from repro.cgm.program import CGMProgram
 from repro.core.par_engine import ParEMEngine, SeqEMEngine
 from repro.core.vm_engine import VMEngine
+from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import TraceRecorder
 from repro.util.validation import ConfigurationError
 
@@ -46,6 +47,7 @@ def make_engine(
     balanced: bool = False,
     validate: bool = True,
     tracer: TraceRecorder | None = None,
+    metrics: MetricsRegistry | None = None,
 ) -> Engine:
     """Engine factory; ``None`` picks seq/par EM from ``cfg.p``."""
     if engine is None:
@@ -56,7 +58,7 @@ def make_engine(
         raise ConfigurationError(
             f"unknown engine {engine!r}; choose from {sorted(_ENGINES)}"
         ) from None
-    return cls(cfg, balanced=balanced, validate=validate, tracer=tracer)
+    return cls(cfg, balanced=balanced, validate=validate, tracer=tracer, metrics=metrics)
 
 
 @dataclass
@@ -83,9 +85,12 @@ def em_run(
     balanced: bool = False,
     validate: bool = True,
     tracer: TraceRecorder | None = None,
+    metrics: MetricsRegistry | None = None,
 ) -> RunResult:
     """Run any CGM program on the selected backend."""
-    return make_engine(cfg, engine, balanced, validate, tracer).run(program, inputs)
+    return make_engine(cfg, engine, balanced, validate, tracer, metrics).run(
+        program, inputs
+    )
 
 
 def em_sort(
@@ -94,11 +99,13 @@ def em_sort(
     engine: str | None = None,
     balanced: bool = False,
     tracer: TraceRecorder | None = None,
+    metrics: MetricsRegistry | None = None,
 ) -> EMResult:
     """Sort *data* with the simulated CGM sample sort (O(N/(pDB)) I/Os)."""
     data = np.asarray(data)
     res = em_run(
-        SampleSort(), partition_array(data, cfg.v), cfg, engine, balanced, tracer=tracer
+        SampleSort(), partition_array(data, cfg.v), cfg, engine, balanced,
+        tracer=tracer, metrics=metrics,
     )
     return EMResult(np.concatenate(res.outputs), res)
 
@@ -110,6 +117,7 @@ def em_permute(
     engine: str | None = None,
     balanced: bool = False,
     tracer: TraceRecorder | None = None,
+    metrics: MetricsRegistry | None = None,
 ) -> EMResult:
     """Permute int64 *values*: output[destinations[i]] = values[i].
 
@@ -123,7 +131,9 @@ def em_permute(
     inputs = list(
         zip(partition_array(values, cfg.v), partition_array(destinations, cfg.v))
     )
-    res = em_run(CGMPermute(), inputs, cfg, engine, balanced, tracer=tracer)
+    res = em_run(
+        CGMPermute(), inputs, cfg, engine, balanced, tracer=tracer, metrics=metrics
+    )
     return EMResult(np.concatenate(res.outputs), res)
 
 
@@ -133,6 +143,7 @@ def em_transpose(
     engine: str | None = None,
     balanced: bool = False,
     tracer: TraceRecorder | None = None,
+    metrics: MetricsRegistry | None = None,
 ) -> EMResult:
     """Transpose a k x ell int64 matrix (O(N/(pDB)) I/Os)."""
     matrix = np.asarray(matrix)
@@ -145,6 +156,8 @@ def em_transpose(
     for band in bands:
         inputs.append((band, row0, k, ell))
         row0 += band.shape[0]
-    res = em_run(CGMTranspose(), inputs, cfg, engine, balanced, tracer=tracer)
+    res = em_run(
+        CGMTranspose(), inputs, cfg, engine, balanced, tracer=tracer, metrics=metrics
+    )
     out = np.vstack([o for o in res.outputs if o.size]) if any(o.size for o in res.outputs) else np.zeros((ell, k), dtype=np.int64)
     return EMResult(out, res)

@@ -21,9 +21,25 @@ This package makes those claims observable:
 * :mod:`repro.obs.costcheck` — cross-checks a measured
   :class:`repro.cgm.metrics.CostReport` against the Theorem 2/3 cost
   predictions derived from the :class:`repro.cgm.config.MachineConfig`.
+* :mod:`repro.obs.metrics` — a labeled metrics registry (counters,
+  gauges, timers, high-water marks) every engine run folds its accounting
+  into; exports Prometheus text and JSON snapshots.  The
+  :data:`~repro.obs.metrics.NULL_REGISTRY` default is a zero-cost no-op.
+* :mod:`repro.obs.analyze` — per-superstep aggregation of a recorded
+  trace (context vs. message blocks, width distribution, compute/I/O/
+  network split, critical-path processor) with measured-vs-predicted
+  Theorem 2/3 I/O envelopes per superstep.
+* :mod:`repro.obs.bench_store` — the ``BENCH_<suite>.json`` benchmark
+  result store (schema-versioned, env-fingerprinted) and the
+  :func:`~repro.obs.bench_store.compare` regression gate.
 """
 
 from repro.obs.chrome import to_chrome_events, write_chrome_trace
+from repro.obs.metrics import (
+    NULL_REGISTRY,
+    MetricsRegistry,
+    NullRegistry,
+)
 from repro.obs.trace import (
     NULL_RECORDER,
     JsonlRecorder,
@@ -31,13 +47,20 @@ from repro.obs.trace import (
     TraceRecorder,
 )
 
-# costcheck/histograms pull in the engine stack; the engines import
-# repro.obs.trace — import them lazily to keep the package cycle-free.
+# costcheck/histograms/analyze/bench_store pull in the engine stack; the
+# engines import repro.obs.{trace,metrics} — import these lazily to keep
+# the package cycle-free.
 _LAZY = {
     "CostCheck": "repro.obs.costcheck",
     "CostCrossCheck": "repro.obs.costcheck",
     "crosscheck_report": "repro.obs.costcheck",
     "DiskHistograms": "repro.obs.histograms",
+    "TraceAnalysis": "repro.obs.analyze",
+    "analyze_events": "repro.obs.analyze",
+    "analyze_file": "repro.obs.analyze",
+    "BenchStore": "repro.obs.bench_store",
+    "compare": "repro.obs.bench_store",
+    "load": "repro.obs.bench_store",
 }
 
 
@@ -54,10 +77,19 @@ __all__ = [
     "NullRecorder",
     "JsonlRecorder",
     "NULL_RECORDER",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
     "to_chrome_events",
     "write_chrome_trace",
     "DiskHistograms",
     "CostCheck",
     "CostCrossCheck",
     "crosscheck_report",
+    "TraceAnalysis",
+    "analyze_events",
+    "analyze_file",
+    "BenchStore",
+    "compare",
+    "load",
 ]

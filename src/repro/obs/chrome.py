@@ -39,7 +39,17 @@ def _us(ev: dict[str, Any]) -> float:
 
 
 def to_chrome_events(events: list[dict[str, Any]]) -> list[dict[str, Any]]:
-    """Translate recorder events into Chrome trace-event dicts."""
+    """Translate recorder events into Chrome trace-event dicts.
+
+    Robust to imperfect traces: events are stably sorted by timestamp
+    first (the viewers require non-decreasing ``ts`` for ``B``/``E``
+    pairing), and a ``superstep_begin`` with no matching end — a crashed
+    or truncated run — is auto-closed at the trace's last timestamp so the
+    duration still renders instead of poisoning the whole track.
+    """
+    events = sorted(events, key=_us)
+    last_ts = _us(events[-1]) if events else 0.0
+    open_supersteps: list[dict[str, Any]] = []
     out: list[dict[str, Any]] = []
     for ev in events:
         kind = ev["kind"]
@@ -51,18 +61,20 @@ def to_chrome_events(events: list[dict[str, Any]]) -> list[dict[str, Any]]:
             if k not in ("kind", "ts", "seq") and v is not None
         }
         if kind == "superstep_begin":
-            out.append(
-                {
-                    "name": f"superstep {ev.get('superstep', '?')}",
-                    "cat": "superstep",
-                    "ph": "B",
-                    "ts": ts,
-                    "pid": pid,
-                    "tid": 0,
-                    "args": args,
-                }
-            )
+            begin = {
+                "name": f"superstep {ev.get('superstep', '?')}",
+                "cat": "superstep",
+                "ph": "B",
+                "ts": ts,
+                "pid": pid,
+                "tid": 0,
+                "args": args,
+            }
+            out.append(begin)
+            open_supersteps.append(begin)
         elif kind == "superstep_end":
+            if open_supersteps:
+                open_supersteps.pop()
             out.append(
                 {
                     "name": f"superstep {ev.get('superstep', '?')}",
@@ -103,6 +115,19 @@ def to_chrome_events(events: list[dict[str, Any]]) -> list[dict[str, Any]]:
                 }
             )
         # unknown kinds are dropped rather than emitting invalid phases
+    # auto-close dangling begins, innermost first (E events pair LIFO)
+    for begin in reversed(open_supersteps):
+        out.append(
+            {
+                "name": begin["name"],
+                "cat": "superstep",
+                "ph": "E",
+                "ts": max(last_ts, begin["ts"]),
+                "pid": begin["pid"],
+                "tid": 0,
+                "args": {"auto_closed": True},
+            }
+        )
     return out
 
 

@@ -138,6 +138,19 @@ class IOStats:
         elif other.D is not None:
             self.D = max(self.D, other.D)
 
+    def as_dict(self) -> dict:
+        """JSON-able counter dump (benchmark store, metrics snapshots)."""
+        return {
+            "parallel_ios": self.parallel_ios,
+            "blocks_read": self.blocks_read,
+            "blocks_written": self.blocks_written,
+            "read_ops": self.read_ops,
+            "write_ops": self.write_ops,
+            "per_disk_blocks": list(self.per_disk_blocks),
+            "width_histogram": list(self.width_histogram),
+            "D": self.D,
+        }
+
     def snapshot(self) -> "IOStats":
         return IOStats(
             self.parallel_ios,

@@ -1,0 +1,49 @@
+"""Fixed-width text tables shared by benchmarks, the CLI and the analyzer.
+
+Formatting rules (:func:`fmt_cell`): floats print with three significant
+or decimal digits depending on magnitude; ``nan``/``inf`` render literally
+instead of tripping the magnitude tests (every comparison against NaN is
+False, which previously fell through to the wrong branch); negative zero
+collapses to ``0``.  Rows shorter than the header are padded with blanks
+rather than raising.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Sequence
+
+
+def fmt_cell(x: Any) -> str:
+    """Render one table cell."""
+    if isinstance(x, float):
+        if math.isnan(x):
+            return "nan"
+        if math.isinf(x):
+            return "inf" if x > 0 else "-inf"
+        if x == 0:  # includes -0.0
+            return "0"
+        if abs(x) >= 1000 or abs(x) < 0.01:
+            return f"{x:.3g}"
+        return f"{x:.3f}"
+    return str(x)
+
+
+def format_table(title: str, headers: Sequence[Any], rows: Sequence[Sequence[Any]]) -> str:
+    """A compact right-aligned table as one string."""
+    ncols = len(headers)
+    padded = [[*map(fmt_cell, r), *[""] * (ncols - len(r))][:ncols] for r in rows]
+    widths = [
+        max(len(fmt_cell(h)), *(len(r[i]) for r in padded)) if padded else len(fmt_cell(h))
+        for i, h in enumerate(headers)
+    ]
+    line = "  ".join(fmt_cell(h).rjust(w) for h, w in zip(headers, widths))
+    out = [f"=== {title} ===", line, "-" * len(line)]
+    for r in padded:
+        out.append("  ".join(c.rjust(w) for c, w in zip(r, widths)))
+    return "\n".join(out)
+
+
+def print_table(title: str, headers: Sequence[Any], rows: Sequence[Sequence[Any]]) -> None:
+    """Print :func:`format_table` with a leading blank line (pytest ``-s``)."""
+    print("\n" + format_table(title, headers, rows))

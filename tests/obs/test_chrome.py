@@ -1,0 +1,66 @@
+"""Chrome export edge cases: empty, truncated, and out-of-order traces."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.chrome import to_chrome_events, write_chrome_trace
+
+
+def _begin(superstep, ts, real=0):
+    return {"kind": "superstep_begin", "superstep": superstep, "ts": ts, "real": real}
+
+
+def _end(superstep, ts, real=0):
+    return {"kind": "superstep_end", "superstep": superstep, "ts": ts, "real": real}
+
+
+class TestEdgeCases:
+    def test_empty_trace(self, tmp_path):
+        assert to_chrome_events([]) == []
+        path = tmp_path / "empty.json"
+        assert write_chrome_trace([], str(path)) == 0
+        assert json.loads(path.read_text()) == []
+
+    def test_unclosed_superstep_auto_closed(self):
+        out = to_chrome_events(
+            [
+                _begin(1, 0.0),
+                _end(1, 1.0),
+                _begin(2, 2.0),  # crashed/truncated run: no end
+                {"kind": "compute_round", "pid": 0, "real": 0, "ts": 3.0,
+                 "wall_s": 0.5},
+            ]
+        )
+        phases = [e["ph"] for e in out]
+        assert phases.count("B") == phases.count("E") == 2
+        closer = out[-1]
+        assert closer["ph"] == "E"
+        assert closer["args"] == {"auto_closed": True}
+        assert closer["ts"] == 3.0 * 1e6  # closed at the trace's last timestamp
+
+    def test_nested_unclosed_close_lifo(self):
+        out = to_chrome_events([_begin(1, 0.0, real=0), _begin(2, 1.0, real=1)])
+        closers = [e for e in out if e["ph"] == "E"]
+        assert [c["name"] for c in closers] == ["superstep 2", "superstep 1"]
+        assert [c["pid"] for c in closers] == [1, 0]
+
+    def test_out_of_order_timestamps_sorted(self):
+        out = to_chrome_events([_end(1, 5.0), _begin(1, 1.0)])
+        assert [e["ph"] for e in out] == ["B", "E"]
+        ts = [e["ts"] for e in out]
+        assert ts == sorted(ts)
+
+    def test_only_end_events_still_emit(self):
+        out = to_chrome_events([_end(1, 1.0)])
+        assert [e["ph"] for e in out] == ["E"]
+
+    def test_unknown_kinds_dropped(self):
+        assert to_chrome_events([{"kind": "mystery", "ts": 0.0}]) == []
+
+    def test_none_valued_tags_stripped_from_args(self):
+        out = to_chrome_events(
+            [{"kind": "context_read", "pid": 0, "real": 0, "ts": 0.0,
+              "blocks": 2, "fmt": None}]
+        )
+        assert out[0]["args"] == {"pid": 0, "real": 0, "blocks": 2}

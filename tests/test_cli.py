@@ -15,6 +15,20 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
+    def test_no_subcommand_exits_nonzero_with_usage(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main([])
+        assert exc.value.code == 2
+        assert "usage" in capsys.readouterr().err.lower()
+
+    def test_version_flag(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        assert f"repro {__version__}" in capsys.readouterr().out
+
     def test_defaults(self):
         args = build_parser().parse_args(["sort"])
         assert args.v == 8 and args.d == 2 and args.engine is None
@@ -123,3 +137,86 @@ class TestObservabilityFlags:
     def test_full_width_report_line(self, capsys):
         assert main(self.BASE) == 0
         assert "full-D parallel" in capsys.readouterr().out
+
+    def test_metrics_prometheus_and_json(self, tmp_path, capsys):
+        prom = tmp_path / "m.prom"
+        assert main(self.BASE + ["--metrics", str(prom)]) == 0
+        text = prom.read_text()
+        assert "# TYPE repro_parallel_ios_total counter" in text
+        assert 'engine="seq-em"' in text
+        jpath = tmp_path / "m.json"
+        assert main(self.BASE + ["--metrics", str(jpath)]) == 0
+        doc = json.loads(jpath.read_text())
+        assert doc["repro_runs_total"]["series"][0]["value"] == 1
+
+
+class TestAnalyzeCommand:
+    def _trace(self, tmp_path, extra=()):
+        path = tmp_path / "trace.jsonl"
+        assert main(["sort", "--n", "4096", "--v", "4", "--b", "64",
+                     "--trace", str(path), *extra]) == 0
+        return path
+
+    def test_analyze_traced_sort_within_envelope(self, tmp_path, capsys):
+        path = self._trace(tmp_path)
+        capsys.readouterr()
+        assert main(["analyze", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "per-superstep aggregation" in out
+        assert "all supersteps within envelope" in out
+
+    def test_analyze_json_output(self, tmp_path, capsys):
+        path = self._trace(tmp_path)
+        capsys.readouterr()
+        assert main(["analyze", str(path), "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["ok"] is True and doc["supersteps"]
+
+    def test_analyze_tight_envelope_fails(self, tmp_path, capsys):
+        path = self._trace(tmp_path)
+        assert main(["analyze", str(path), "--envelope", "1.0001"]) == 1
+
+    def test_analyze_bad_file_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("{ not json\n")
+        assert main(["analyze", str(bad)]) == 2
+
+
+class TestBenchCommand:
+    def _docs(self, tmp_path, ios=100):
+        from repro.obs.bench_store import BenchStore
+
+        store = BenchStore("suite")
+        store.record("pt", measured={"parallel_ios": ios})
+        return store.write(str(tmp_path))
+
+    def test_compare_identical_ok(self, tmp_path, capsys):
+        old = self._docs(tmp_path / "a")
+        new = self._docs(tmp_path / "b")
+        assert main(["bench", "--compare", old, new]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_compare_perturbed_fails(self, tmp_path, capsys):
+        old = self._docs(tmp_path / "a", ios=100)
+        new = self._docs(tmp_path / "b", ios=110)
+        assert main(["bench", "--compare", old, new]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_compare_io_rtol(self, tmp_path):
+        old = self._docs(tmp_path / "a", ios=100)
+        new = self._docs(tmp_path / "b", ios=110)
+        assert main(["bench", "--compare", old, new, "--io-rtol", "0.2"]) == 0
+
+    def test_compare_invalid_doc_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{}")
+        good = self._docs(tmp_path)
+        assert main(["bench", "--compare", str(bad), good]) == 2
+
+    def test_list_suites(self, capsys):
+        assert main(["bench", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig3_vm_vs_em" in out and "theorem3_scaling" in out
+
+    def test_unknown_suite_exits_2(self, capsys):
+        assert main(["bench", "no_such_suite"]) == 2

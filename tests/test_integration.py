@@ -28,6 +28,7 @@ from repro.em.runner import em_sort
 REPO = Path(__file__).resolve().parents[1]
 
 
+@pytest.mark.slow
 class TestParallelEnginePipelines:
     def test_graphs_on_par_engine(self):
         n = 400
@@ -104,6 +105,7 @@ class TestBSPConversionAgreesWithEngine:
         assert len(em.supersteps) == run.report.supersteps
 
 
+@pytest.mark.slow
 @pytest.mark.parametrize(
     "script",
     ["quickstart.py", "gis_pipeline.py", "scaling_study.py", "cache_tuning.py", "graph_analysis.py"],

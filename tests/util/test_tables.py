@@ -1,0 +1,65 @@
+"""The shared table formatter (benchmarks' `_fmt` bug class: NaN/negatives)."""
+
+from __future__ import annotations
+
+import math
+
+from repro.util.tables import fmt_cell, format_table, print_table
+
+
+class TestFmtCell:
+    def test_plain_values_pass_through(self):
+        assert fmt_cell(42) == "42"
+        assert fmt_cell("text") == "text"
+        assert fmt_cell(True) == "True"
+
+    def test_float_magnitude_branches(self):
+        assert fmt_cell(3.14159) == "3.142"
+        assert fmt_cell(12345.6) == "1.23e+04"
+        assert fmt_cell(0.001234) == "0.00123"
+
+    def test_negative_floats(self):
+        # the old benchmarks `_fmt` compared magnitudes without abs(),
+        # sending every negative float down the wrong branch
+        assert fmt_cell(-3.14159) == "-3.142"
+        assert fmt_cell(-12345.6) == "-1.23e+04"
+        assert fmt_cell(-0.001234) == "-0.00123"
+
+    def test_nan_and_inf_render_literally(self):
+        assert fmt_cell(float("nan")) == "nan"
+        assert fmt_cell(math.inf) == "inf"
+        assert fmt_cell(-math.inf) == "-inf"
+
+    def test_negative_zero_collapses(self):
+        assert fmt_cell(-0.0) == "0"
+        assert fmt_cell(0.0) == "0"
+
+
+class TestFormatTable:
+    def test_alignment_and_title(self):
+        out = format_table("t", ["a", "bb"], [[1, 2], [333, 4]])
+        lines = out.splitlines()
+        assert lines[0] == "=== t ==="
+        assert lines[1].split() == ["a", "bb"]
+        assert lines[3].split() == ["1", "2"]
+        assert lines[4].split() == ["333", "4"]
+        # right-aligned: the 1 lines up under the 3 of 333
+        assert lines[3].index("1") == lines[4].index("3") + 2
+
+    def test_short_rows_padded_not_raising(self):
+        out = format_table("t", ["a", "b", "c"], [[1], [1, 2, 3]])
+        assert "1" in out.splitlines()[3]
+
+    def test_empty_rows(self):
+        out = format_table("t", ["a", "b"], [])
+        assert out.splitlines()[1].split() == ["a", "b"]
+
+    def test_numeric_headers_formatted(self):
+        out = format_table("t", [1.5, "x"], [[2.5, "y"]])
+        assert "1.500" in out
+
+    def test_print_table_writes_stdout(self, capsys):
+        print_table("title", ["h"], [[float("nan")], [-1.5]])
+        got = capsys.readouterr().out
+        assert got.startswith("\n=== title ===")
+        assert "nan" in got and "-1.500" in got
