@@ -73,7 +73,11 @@ def test_theorem1_end_to_end_sizes():
     sizes_a = [m.size_items for m in phase_a]
     # serialized payload adds a small envelope: allow +2 words
     assert max(sizes_a) <= words / v + (v - 1) / 2 + 2
-    forwarded = regroup_phase_b(phase_a[:1] and phase_a)
+    # regroup at each intermediary separately, as the relay superstep does
+    forwarded = []
+    for me in range(v):
+        mine = [m for m in phase_a if m.dest == me]
+        forwarded.extend(regroup_phase_b(mine, me=me))
     assert all(m.size_items >= 1 for m in forwarded)
 
 

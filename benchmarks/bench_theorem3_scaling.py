@@ -80,6 +80,24 @@ def test_theorem3_network_traffic_only_cross_processor():
     assert cross[2] < cross[8]
 
 
+def test_theorem3_workers_backend_bit_identical():
+    """Acceptance gate: with ``workers=p`` the multi-process backend must
+    report exactly the cost counters of the single-process simulation —
+    real parallelism changes wall-clock, never the model."""
+    data = make_rng(4).integers(0, 2**50, N)
+    for p in (2, 4):
+        cfg = MachineConfig(N=N, v=V, p=p, D=D, B=B)
+        seq = em_sort(data, cfg, engine="par")
+        par = em_sort(data, cfg.with_(workers=p), engine="par")
+        assert np.array_equal(par.values, np.sort(data))
+        assert par.report.io.parallel_ios == seq.report.io.parallel_ios
+        assert par.report.io.blocks_total == seq.report.io.blocks_total
+        assert par.report.context_blocks_io == seq.report.context_blocks_io
+        assert par.report.message_blocks_io == seq.report.message_blocks_io
+        assert par.report.overflow_blocks == seq.report.overflow_blocks
+        assert par.report.io_max.parallel_ios == seq.report.io_max.parallel_ios
+
+
 @pytest.mark.benchmark(group="theorem3")
 @pytest.mark.parametrize("p", [1, 4])
 def test_theorem3_benchmark(benchmark, p):

@@ -40,9 +40,11 @@ class MachineConfig:
     L: float = 100.0        #: synchronization cost per superstep
     seed: int = 0           #: RNG seed for randomized algorithms
     strict: bool = False    #: raise (vs warn) on constraint violations
+    workers: int = 0        #: OS processes for the par backend (0 = in-process)
 
     def __post_init__(self) -> None:
         require(self.N >= 1, f"N must be positive, got {self.N}")
+        require(self.workers >= 0, f"workers must be >= 0, got {self.workers}")
         require(self.v >= 1, f"v must be positive, got {self.v}")
         require(self.p >= 1, f"p must be positive, got {self.p}")
         require(self.p <= self.v, f"need p <= v, got p={self.p}, v={self.v}")

@@ -56,6 +56,29 @@ class RunResult:
         return self.outputs[pid]
 
 
+@dataclass
+class RoundStep:
+    """Accounting accumulated while executing one CGM round.
+
+    Produced by :meth:`Engine._execute_round` (and, in the multi-process
+    backend, merged from per-worker partial steps) and folded into a
+    :class:`RoundMetrics` by the driver loop.
+    """
+
+    sent: list[int]              #: items sent, per virtual processor
+    recv: list[int]              #: items received, per virtual processor
+    per_real_wall: list[float]   #: round-callback wall time, per real proc
+    messages: int = 0            #: point-to-point messages this round
+    comm_items: int = 0          #: total items communicated
+    cross_items: int = 0         #: items crossing real-processor boundaries
+    all_done: bool = True        #: every executed processor returned True
+    io: Any = None               #: IOStats delta of the round, or None
+
+    @classmethod
+    def empty(cls, v: int, p: int) -> "RoundStep":
+        return cls(sent=[0] * v, recv=[0] * v, per_real_wall=[0.0] * p)
+
+
 class Engine:
     """Template driver; subclasses provide the storage backend."""
 
@@ -131,6 +154,111 @@ class Engine:
         I/O deltas (``RoundMetrics.io``) and superstep trace events."""
         return None
 
+    def _local_pids(self) -> "range | list[int]":
+        """Virtual processors simulated by *this* interpreter.
+
+        All of them for in-process backends; a worker process of the
+        multi-core backend overrides this with the pids of the real
+        processors it owns.
+        """
+        return range(self.cfg.v)
+
+    # ------------------------------------------------- per-round execution
+
+    def _setup_contexts(self, program: CGMProgram, inputs: list[Any]) -> None:
+        """Initialize and persist every virtual processor's context."""
+        for pid in self._local_pids():
+            ctx = Context()
+            program.setup(ctx, pid, self.cfg, inputs[pid])
+            self._store_context(pid, ctx)
+
+    def _run_vproc(
+        self,
+        program: CGMProgram,
+        r: int,
+        pid: int,
+        rng,
+        step: RoundStep,
+    ) -> None:
+        """Simulate one virtual processor's compound superstep: load its
+        context and inbox, run the program's round callback, persist the
+        context and route the outbox — accumulating into *step*."""
+        from repro.core import balanced as bal  # local import: avoid cycle
+
+        cfg = self.cfg
+        vpr = cfg.vprocs_per_real
+        real = pid // vpr
+        tr = self.tracer
+        ctx = self._load_context(pid)
+        raw_inbox = self._take_inbox(pid)
+        if self.balanced and raw_inbox:
+            inbox = bal.reassemble(raw_inbox)
+        else:
+            inbox = raw_inbox
+        for m in inbox:
+            step.recv[pid] += m.size_items
+        env = RoundEnv(pid, cfg.v, r, cfg, inbox, rng)
+        t0 = time.perf_counter()
+        done = program.round(r, ctx, env)
+        wall = time.perf_counter() - t0
+        step.per_real_wall[real] += wall
+        step.all_done &= bool(done)
+        self._store_context(pid, ctx)
+
+        outbox = env.outbox
+        step.messages += len(outbox)
+        for m in outbox:
+            step.sent[pid] += m.size_items
+            step.comm_items += m.size_items
+            if (m.dest // vpr) != real:
+                step.cross_items += m.size_items
+                if tr.enabled:
+                    tr.emit(
+                        "network_transfer",
+                        src=m.src,
+                        dest=m.dest,
+                        src_real=real,
+                        dest_real=m.dest // vpr,
+                        items=m.size_items,
+                    )
+        if tr.enabled:
+            tr.emit(
+                "compute_round",
+                pid=pid,
+                real=real,
+                round=r,
+                wall_s=wall,
+                done=bool(done),
+            )
+        if self.balanced and outbox:
+            outbox = bal.split_phase_a(outbox, cfg.v)
+        self._put_messages(pid, outbox)
+
+    def _execute_round(self, program: CGMProgram, r: int, rngs: list) -> RoundStep:
+        """Run one full CGM round: every virtual processor's compound
+        superstep, the superstep barrier, and (in balanced mode) the relay
+        superstep.  The multi-process backend overrides this to fan the
+        per-real-processor work out to worker processes."""
+        cfg = self.cfg
+        step = RoundStep.empty(cfg.v, cfg.p)
+        io_before = self._io_totals()
+        for pid in self._local_pids():
+            self._run_vproc(program, r, pid, rngs[pid], step)
+        self._flip()
+        if self.balanced:
+            self._relay_superstep()
+            self._flip()
+        io_after = self._io_totals()
+        if io_after is not None:
+            step.io = (
+                io_after.delta_since(io_before) if io_before else io_after.snapshot()
+            )
+        return step
+
+    def _collect_outputs(self, program: CGMProgram) -> list[Any]:
+        """Extract every virtual processor's output after the last round."""
+        return [program.finish(self._load_context(pid)) for pid in self._local_pids()]
+
     # ------------------------------------------------------------------ driver
 
     def run(self, program: CGMProgram, inputs: list[Any]) -> RunResult:
@@ -142,8 +270,6 @@ class Engine:
             )
         if self.validate:
             self.constraint_warnings = cfg.validate(kappa=program.kappa)
-
-        from repro.core import balanced as bal  # local import: avoid cycle
 
         rngs = spawn_rngs(cfg.seed, v)
         report = CostReport(engine=self.name)
@@ -174,84 +300,29 @@ class Engine:
                 D=cfg.D,
                 B=cfg.B,
                 M=cfg.M,
+                workers=cfg.workers,
                 balanced=self.balanced,
             )
 
-        for pid in range(v):
-            ctx = Context()
-            program.setup(ctx, pid, cfg, inputs[pid])
-            self._store_context(pid, ctx)
+        self._setup_contexts(program, inputs)
 
         r = 0
         while True:
-            rm = RoundMetrics(r)
-            all_done = True
-            sent = [0] * v
-            recv = [0] * v
-            per_real_wall = [0.0] * cfg.p
-            vpr = cfg.vprocs_per_real
-            io_before = self._io_totals()
             if tr.enabled:
                 tr.emit("superstep_begin", superstep=report.supersteps, round=r)
 
-            for pid in range(v):
-                real = pid // vpr
-                ctx = self._load_context(pid)
-                raw_inbox = self._take_inbox(pid)
-                if self.balanced and raw_inbox:
-                    inbox = bal.reassemble(raw_inbox)
-                else:
-                    inbox = raw_inbox
-                for m in inbox:
-                    recv[pid] += m.size_items
-                env = RoundEnv(pid, v, r, cfg, inbox, rngs[pid])
-                t0 = time.perf_counter()
-                done = program.round(r, ctx, env)
-                wall = time.perf_counter() - t0
-                per_real_wall[real] += wall
-                all_done &= bool(done)
-                self._store_context(pid, ctx)
+            step = self._execute_round(program, r, rngs)
 
-                outbox = env.outbox
-                rm.messages += len(outbox)
-                for m in outbox:
-                    sent[pid] += m.size_items
-                    rm.comm_items += m.size_items
-                    if (m.dest // vpr) != real:
-                        rm.cross_items += m.size_items
-                        if tr.enabled:
-                            tr.emit(
-                                "network_transfer",
-                                src=m.src,
-                                dest=m.dest,
-                                src_real=real,
-                                dest_real=m.dest // vpr,
-                                items=m.size_items,
-                            )
-                if tr.enabled:
-                    tr.emit(
-                        "compute_round",
-                        pid=pid,
-                        real=real,
-                        round=r,
-                        wall_s=wall,
-                        done=bool(done),
-                    )
-                if self.balanced and outbox:
-                    outbox = bal.split_phase_a(outbox, v)
-                self._put_messages(pid, outbox)
-
-            self._flip()
-            if self.balanced:
-                self._relay_superstep(report)
-                self._flip()
-
-            rm.h_in = max(recv, default=0)
-            rm.h_out = max(sent, default=0)
-            rm.comp_wall_s = max(per_real_wall)
-            io_after = self._io_totals()
-            if io_after is not None:
-                rm.io = io_after.delta_since(io_before) if io_before else io_after.snapshot()
+            rm = RoundMetrics(r)
+            rm.messages = step.messages
+            rm.comm_items = step.comm_items
+            rm.cross_items = step.cross_items
+            rm.h_in = max(step.recv, default=0)
+            rm.h_out = max(step.sent, default=0)
+            rm.comp_wall_s = max(step.per_real_wall)
+            if step.io is not None:
+                rm.io = step.io
+            all_done = step.all_done
             report.add_round(rm)
             report.supersteps += self._supersteps_per_round() * (2 if self.balanced else 1)
             if tr.enabled:
@@ -303,7 +374,7 @@ class Engine:
                     "missing termination?"
                 )
 
-        outputs = [program.finish(self._load_context(pid)) for pid in range(v)]
+        outputs = self._collect_outputs(program)
         self._finalize(report)
         if mx.enabled:
             mx.counter("repro_runs_total", "engine executions").labels(**labels).inc()
@@ -324,20 +395,18 @@ class Engine:
             )
         return RunResult(outputs, report, cfg)
 
-    def _relay_superstep(self, report: CostReport) -> None:
+    def _relay_superstep(self) -> None:
         """Balanced routing phase B: regroup chunks at intermediate procs.
 
         Engine-internal — no program code runs, no contexts are loaded.
         """
         from repro.core import balanced as bal
 
-        v = self.cfg.v
-        vpr = self.cfg.vprocs_per_real
-        for pid in range(v):
+        for pid in self._local_pids():
             chunks = self._take_inbox(pid)
             if not chunks:
                 continue
-            forwarded = bal.regroup_phase_b(chunks)
+            forwarded = bal.regroup_phase_b(chunks, me=pid)
             self._put_messages(pid, forwarded)
 
 

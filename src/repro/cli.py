@@ -34,6 +34,13 @@ def _add_machine_args(p: argparse.ArgumentParser, n_default: int = 1 << 16) -> N
     p.add_argument("--d", type=int, default=2, help="disks per processor")
     p.add_argument("--b", type=int, default=256, help="block size (items)")
     p.add_argument("--m", type=int, default=None, help="memory per processor (items)")
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="run the par backend's real processors in this many OS "
+        "processes (0 = single-process simulation; capped at p)",
+    )
     p.add_argument("--seed", type=int, default=0)
     p.add_argument(
         "--engine",
@@ -79,6 +86,7 @@ def _config(args, n: int | None = None) -> MachineConfig:
         B=args.b,
         M=args.m,
         seed=args.seed,
+        workers=getattr(args, "workers", 0),
     )
 
 

@@ -43,7 +43,9 @@ class Chunk:
     i.e. the strided slice ``words[first::v]`` — plus the metadata needed
     to reassemble: originating processor, per-source message sequence
     number, total word count and exact byte length of the serialized
-    payload, and the application tag.
+    payload, the application tag, and the original h-relation charge
+    (``size_items``) so the rebuilt message charges the same as the
+    direct-routed one.
     """
 
     src: int
@@ -54,6 +56,7 @@ class Chunk:
     total_words: int
     nbytes: int
     tag: str | None
+    size_items: int
     words: np.ndarray  # uint64, the strided slice
 
     @property
@@ -91,7 +94,10 @@ def split_phase_a(outbox: list[Message], v: int) -> list[Message]:
             if piece.size == 0 and total > 0:
                 continue
             bins[b].append(
-                Chunk(i, j, seq, first, v, total, nbytes, m.tag, piece.copy())
+                Chunk(
+                    i, j, seq, first, v, total, nbytes, m.tag,
+                    m.size_items, piece.copy(),
+                )
             )
     out: list[Message] = []
     for b, chunks in sorted(bins.items()):
@@ -108,25 +114,36 @@ def split_phase_a(outbox: list[Message], v: int) -> list[Message]:
     return out
 
 
-def regroup_phase_b(received: list[Message]) -> list[Message]:
+def regroup_phase_b(received: list[Message], me: int | None = None) -> list[Message]:
     """Superstep B: regroup chunks by final destination and forward.
 
     *received* are the phase-A messages that arrived at one intermediate
-    processor; the result is one message per final destination.
+    processor; the result is one message per final destination.  *me* is
+    that intermediate processor's pid — the source of every forwarded
+    message.  When omitted it is taken from the received messages'
+    destination field, which is only possible for a non-empty *received*;
+    an empty input simply forwards nothing.
     """
+    if not received:
+        return []
     by_fdest: dict[int, list[Chunk]] = defaultdict(list)
-    me: int | None = None
     for m in received:
         if m.tag != CHUNK_TAG:
             raise ValueError("regroup_phase_b fed a non-chunk message")
-        me = m.dest
+        if me is None:
+            me = m.dest
+        elif m.dest != me:
+            raise ValueError(
+                f"regroup_phase_b fed chunk traffic for processor {m.dest} "
+                f"while regrouping at processor {me}"
+            )
         for c in m.payload:
             by_fdest[c.fdest].append(c)
     out: list[Message] = []
     for k, chunks in sorted(by_fdest.items()):
         size = sum(c.n_words for c in chunks)
         out.append(
-            Message(src=me or 0, dest=k, payload=chunks, tag=CHUNK_TAG, size_items=max(1, size))
+            Message(src=me, dest=k, payload=chunks, tag=CHUNK_TAG, size_items=max(1, size))
         )
     return out
 
@@ -139,21 +156,21 @@ def reassemble(inbox: list[Message]) -> list[Message]:
     """
     passthrough = [m for m in inbox if m.tag != CHUNK_TAG]
     groups: dict[tuple[int, int], list[Chunk]] = defaultdict(list)
-    dest_seen: int | None = None
     for m in inbox:
         if m.tag != CHUNK_TAG:
             continue
         for c in m.payload:
             groups[(c.src, c.msg_seq)].append(c)
-            dest_seen = c.fdest
     rebuilt: list[Message] = []
     for (src, _seq), chunks in sorted(groups.items()):
+        # each group carries its own destination and original h-relation
+        # charge; other groups in the same inbox must not bleed into it
         ref = chunks[0]
         words = np.zeros(ref.total_words, dtype=np.uint64)
         for c in chunks:
             words[c.first :: c.stride] = c.words
         payload = _words_to_payload(words, ref.nbytes)
-        rebuilt.append(Message(src, dest_seen if dest_seen is not None else ref.fdest, payload, ref.tag))
+        rebuilt.append(Message(src, ref.fdest, payload, ref.tag, ref.size_items))
     return passthrough + rebuilt
 
 

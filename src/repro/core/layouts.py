@@ -26,6 +26,8 @@ band-set ``(r-1) mod 2``.
 
 from __future__ import annotations
 
+import bisect
+
 
 def consecutive_addresses(
     nblocks: int, D: int, start_track: int, start_disk: int = 0
@@ -109,25 +111,81 @@ class MessageMatrix:
 
 
 class RegionAllocator:
-    """Grow-only track allocator for context regions and overflow runs.
+    """Track allocator for context regions and overflow runs, with reuse.
 
     Contexts change size between rounds; a virtual processor keeps its
     region until it outgrows it, then gets a fresh, larger one (the old
-    tracks are freed on the simulated disks).  Allocation is in whole
-    track-rows (all D disks), so consecutive-format runs inside a region
-    are always fully parallel.
+    tracks are freed on the simulated disks *and* returned here).
+    Allocation is in whole track-rows (all D disks), so consecutive-format
+    runs inside a region are always fully parallel.
+
+    Freed regions go to a free list, adjacent free regions coalesce, and a
+    free region touching the cursor retracts it — so long-running programs
+    whose contexts grow (or that spill overflow runs every superstep) keep
+    a bounded simulated-disk footprint instead of leaking rows forever.
+    Allocation is deterministic best-fit: the smallest adequate free
+    region, ties broken by lowest start track.
     """
 
     def __init__(self, D: int, first_track: int) -> None:
         self.D = D
+        self._base = first_track
         self._cursor = first_track
+        #: free regions as (start_track, rows), sorted by start, disjoint,
+        #: coalesced, and never touching the cursor.
+        self._free: list[tuple[int, int]] = []
+
+    def rows_for(self, nblocks: int) -> int:
+        """Track-rows needed to hold *nblocks* blocks over D disks."""
+        return max(1, -(-nblocks // self.D))
 
     def alloc(self, nblocks: int) -> tuple[int, int]:
         """Reserve rows for *nblocks* blocks; returns (start_track, rows)."""
-        rows = max(1, -(-nblocks // self.D))
+        rows = self.rows_for(nblocks)
+        best = -1
+        for i, (fstart, frows) in enumerate(self._free):
+            if frows < rows:
+                continue
+            if best < 0 or (frows, fstart) < (
+                self._free[best][1],
+                self._free[best][0],
+            ):
+                best = i
+        if best >= 0:
+            fstart, frows = self._free[best]
+            if frows > rows:
+                self._free[best] = (fstart + rows, frows - rows)
+            else:
+                del self._free[best]
+            return fstart, rows
         start = self._cursor
         self._cursor += rows
         return start, rows
+
+    def free(self, start_track: int, rows: int) -> None:
+        """Return a region obtained from :meth:`alloc` to the free list."""
+        if rows <= 0:
+            return
+        regions = self._free
+        i = bisect.bisect_left(regions, (start_track, rows))
+        regions.insert(i, (start_track, rows))
+        # coalesce with the right then the left neighbour
+        if i + 1 < len(regions) and regions[i][0] + regions[i][1] == regions[i + 1][0]:
+            regions[i] = (regions[i][0], regions[i][1] + regions[i + 1][1])
+            del regions[i + 1]
+        if i > 0 and regions[i - 1][0] + regions[i - 1][1] == regions[i][0]:
+            regions[i - 1] = (regions[i - 1][0], regions[i - 1][1] + regions[i][1])
+            del regions[i]
+            i -= 1
+        # a free region ending at the cursor retracts it
+        if regions and regions[-1][0] + regions[-1][1] == self._cursor:
+            self._cursor = regions[-1][0]
+            regions.pop()
+
+    @property
+    def free_rows(self) -> int:
+        """Rows currently on the free list (reusable without growing)."""
+        return sum(rows for _start, rows in self._free)
 
     @property
     def high_water_track(self) -> int:

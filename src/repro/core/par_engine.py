@@ -21,9 +21,12 @@ consecutive-format *overflow run*; the spilled blocks are counted in
 ``CostReport.overflow_blocks`` so benchmarks can verify the balanced mode
 eliminates them.
 
-The simulation is sequential Python, but all cost accounting is
-per-real-processor with per-superstep maxima, so the reported parallel
-times are what a true p-machine would exhibit.
+All cost accounting is per-real-processor with per-superstep maxima, so
+the reported parallel times are what a true p-machine would exhibit.  By
+default the simulation runs in one interpreter loop; with
+``cfg.workers > 1`` the :mod:`repro.core.workers` backend runs each real
+processor's share in its own OS process and merges the per-worker
+counters back into an identical :class:`CostReport`.
 """
 
 from __future__ import annotations
@@ -86,15 +89,18 @@ class ParEMEngine(Engine):
         max_msg_bytes = slot_items * ITEM_BYTES + envelope
         self.slot_blocks = max(1, -(-max_msg_bytes // (cfg.B * ITEM_BYTES)))
 
-        self.arrays = [DiskArray(cfg.D, cfg.B) for _ in range(cfg.p)]
-        self.memories = [InternalMemory(cfg.M, strict=False) for _ in range(cfg.p)]
-        self.matrices = [
-            MessageMatrix(cfg.v, self.vpr, cfg.D, self.slot_blocks, base_track=0)
-            for _ in range(cfg.p)
-        ]
-        self.allocators = [
-            RegionAllocator(cfg.D, self.matrices[r].end_track()) for r in range(cfg.p)
-        ]
+        # storage is keyed by real-processor id so a worker process can
+        # instantiate only the reals it owns (see repro.core.workers)
+        reals = list(self._storage_reals())
+        self.arrays = {r: DiskArray(cfg.D, cfg.B) for r in reals}
+        self.memories = {r: InternalMemory(cfg.M, strict=False) for r in reals}
+        self.matrices = {
+            r: MessageMatrix(cfg.v, self.vpr, cfg.D, self.slot_blocks, base_track=0)
+            for r in reals
+        }
+        self.allocators = {
+            r: RegionAllocator(cfg.D, self.matrices[r].end_track()) for r in reals
+        }
 
         v = cfg.v
         # context directory: pid -> (start_track, rows, nblocks)
@@ -112,6 +118,10 @@ class ParEMEngine(Engine):
 
     # ------------------------------------------------------------- ownership
 
+    def _storage_reals(self) -> "range | list[int]":
+        """Real processors whose disks/memory live in this interpreter."""
+        return range(self.cfg.p)
+
     def _owner(self, pid: int) -> int:
         return pid // self.vpr
 
@@ -128,9 +138,11 @@ class ParEMEngine(Engine):
         region = self._ctx_region.get(pid)
         if region is None or region[1] * self.cfg.D < nblocks:
             if region is not None:
-                # free the outgrown region's tracks
+                # free the outgrown region's tracks on disk and in the
+                # allocator, so a later context can reuse the rows
                 old = consecutive_addresses(region[2], self.cfg.D, region[0])
                 array.free_blocks(old)
+                alloc.free(region[0], region[1])
             start, rows = alloc.alloc(max(nblocks, 1))
             region = (start, rows, nblocks)
         else:
@@ -169,16 +181,21 @@ class ParEMEngine(Engine):
 
     # ------------------------------------------------------------- messages
 
-    def _put_messages(self, src_pid: int, msgs: list[Message]) -> None:
-        cfg = self.cfg
-        # one physical slot message per destination (the paper's msg_ij):
-        # several application messages to one destination share the slot
+    def _bundle_outbox(
+        self, src_pid: int, msgs: list[Message]
+    ) -> list[tuple[int, list, list[bytes]]]:
+        """Coalesce an outbox into one serialized bundle per destination.
+
+        One physical slot message per destination (the paper's msg_ij):
+        several application messages to one destination share the slot.
+        Returns ``(dest, parts, blocks)`` triples in FIFO destination
+        order; the serialization buffers are charged to the *source*
+        real processor's internal memory.
+        """
         by_dest: dict[int, list[Message]] = {}
         for m in msgs:
             by_dest.setdefault(m.dest, []).append(m)
-
-        # FIFO order by destination, as the paper's DiskWrite services them.
-        by_owner: dict[int, list[tuple[int, int, bytes]]] = {}
+        bundles: list[tuple[int, list, list[bytes]]] = []
         for dest in sorted(by_dest):
             group = by_dest[dest]
             if len(group) == 1:
@@ -186,10 +203,28 @@ class ParEMEngine(Engine):
             else:
                 payload_obj = [(m.tag, m.payload) for m in group]
             parts = [(m.tag, m.size_items) for m in group]
-            owner = self._owner(dest)
-            blocks = pack_blocks(serialize(payload_obj), cfg.B)
+            blocks = pack_blocks(serialize(payload_obj), self.cfg.B)
+            self._charge(src_pid, len(blocks) * self.cfg.B)
+            bundles.append((dest, parts, blocks))
+        return bundles
+
+    def _stage_bundles(
+        self, src_pid: int, bundles: list[tuple[int, list, list[bytes]]]
+    ) -> dict[int, list[tuple[int, int, bytes]]]:
+        """Address bundles on their destination's disks and record the
+        directory entries; returns the block placements grouped per
+        owning real processor (one DiskWrite batch each).
+
+        Runs where the destination's storage lives: inline for the
+        sequential backend, in the destination worker for the process
+        backend — which keeps the per-owner write batching (and hence
+        ``parallel_ios``) identical in both modes.
+        """
+        cfg = self.cfg
+        by_owner: dict[int, list[tuple[int, int, bytes]]] = {}
+        for dest, parts, blocks in bundles:
             nblocks = len(blocks)
-            self._charge(src_pid, nblocks * cfg.B)
+            owner = self._owner(dest)
             if nblocks <= self.slot_blocks:
                 addrs = self.matrices[owner].message_addresses(
                     src_pid, self._local(dest), nblocks, self._staged_parity
@@ -217,6 +252,10 @@ class ParEMEngine(Engine):
                     layout="overflow" if overflow else "staggered",
                     parity=self._staged_parity,
                 )
+        return by_owner
+
+    def _put_messages(self, src_pid: int, msgs: list[Message]) -> None:
+        by_owner = self._stage_bundles(src_pid, self._bundle_outbox(src_pid, msgs))
         for owner, placements in by_owner.items():
             self.arrays[owner].write_blocks(placements)
         self._release(src_pid)
@@ -266,11 +305,15 @@ class ParEMEngine(Engine):
             cursor += e.nblocks
             unbundle(e, deserialize(unpack_blocks(chunk)))
             self._charge(pid, e.nblocks * cfg.B)
+        alloc = self.allocators[owner]
         for e in entries:
             if e.overflow is None:
                 continue
             chunk = array.read_blocks(e.overflow)
             array.free_blocks(e.overflow)
+            # overflow runs start on disk 0, so the first address carries
+            # the run's start track; return its rows for reuse
+            alloc.free(e.overflow[0][1], alloc.rows_for(e.nblocks))
             self._msg_blocks_io += e.nblocks
             if self.tracer.enabled:
                 self.tracer.emit(
@@ -316,36 +359,75 @@ class ParEMEngine(Engine):
 
     def _io_totals(self) -> IOStats:
         total = IOStats(D=self.cfg.D)
-        for array in self.arrays:
+        for array in self.arrays.values():
             total.merge(array.stats)
         return total
+
+    @staticmethod
+    def _fold_stats(
+        report: CostReport,
+        io_by_real: list[IOStats],
+        mem_peaks: list[int],
+        ctx_io: int,
+        msg_io: int,
+        ovf: int,
+    ) -> None:
+        """Fold per-real-processor counters into *report*.
+
+        *io_by_real* must be in ascending real-id order so the io_max
+        tie-break (first strict maximum) matches across backends.
+        """
+        io_max = None
+        for st in io_by_real:
+            report.io.merge(st)
+            if io_max is None or st.parallel_ios > io_max.parallel_ios:
+                io_max = st
+        report.io_max = io_max.snapshot() if io_max else report.io.snapshot()
+        report.peak_memory_items = max(mem_peaks, default=0)
+        report.context_blocks_io = ctx_io
+        report.message_blocks_io = msg_io
+        report.overflow_blocks = ovf
 
     def _finalize(self, report: CostReport) -> None:
         # release anything still charged (finish() loads contexts)
         for pid in list(self._charged):
             self._release(pid)
-        io_max = None
-        for array in self.arrays:
-            report.io.merge(array.stats)
-            if io_max is None or array.stats.parallel_ios > io_max.parallel_ios:
-                io_max = array.stats
-        report.io_max = io_max.snapshot() if io_max else report.io.snapshot()
-        report.peak_memory_items = max(m.peak for m in self.memories)
-        report.context_blocks_io = self._ctx_blocks_io
-        report.message_blocks_io = self._msg_blocks_io
-        report.overflow_blocks = self._overflow_blocks
-        if self.metrics.enabled:
-            labels = dict(engine=self.name, p=self.cfg.p, D=self.cfg.D, B=self.cfg.B)
-            mx = self.metrics
-            mx.counter(
-                "repro_context_blocks_total", "blocks moved for context swapping"
-            ).labels(**labels).inc(self._ctx_blocks_io)
-            mx.counter(
-                "repro_message_blocks_total", "blocks moved for message traffic"
-            ).labels(**labels).inc(self._msg_blocks_io)
-            mx.counter(
-                "repro_overflow_blocks_total", "staggered-slot overflow spills"
-            ).labels(**labels).inc(self._overflow_blocks)
+        self._fold_stats(
+            report,
+            [self.arrays[r].stats for r in sorted(self.arrays)],
+            [m.peak for m in self.memories.values()],
+            self._ctx_blocks_io,
+            self._msg_blocks_io,
+            self._overflow_blocks,
+        )
+        emit_block_metrics(
+            self.metrics,
+            self.name,
+            self.cfg,
+            self._ctx_blocks_io,
+            self._msg_blocks_io,
+            self._overflow_blocks,
+        )
+
+
+def emit_block_metrics(metrics, name, cfg, ctx_io, msg_io, ovf) -> None:
+    """Emit the EM backends' block-level counters to a metrics registry.
+
+    Shared by :class:`ParEMEngine` and the multi-core coordinator, which
+    merges the same counters from its worker processes.
+    """
+    if not metrics.enabled:
+        return
+    labels = dict(engine=name, p=cfg.p, D=cfg.D, B=cfg.B)
+    metrics.counter(
+        "repro_context_blocks_total", "blocks moved for context swapping"
+    ).labels(**labels).inc(ctx_io)
+    metrics.counter(
+        "repro_message_blocks_total", "blocks moved for message traffic"
+    ).labels(**labels).inc(msg_io)
+    metrics.counter(
+        "repro_overflow_blocks_total", "staggered-slot overflow spills"
+    ).labels(**labels).inc(ovf)
 
 
 class SeqEMEngine(ParEMEngine):

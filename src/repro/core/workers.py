@@ -1,0 +1,520 @@
+"""Multi-core execution of Algorithm 3: one OS process per real-processor
+group.
+
+:class:`ProcessParEngine` is the opt-in (``cfg.workers > 1``) backend that
+finally runs the p real processors of ParCompoundSuperstep concurrently:
+the coordinator partitions the reals contiguously over ``min(workers, p)``
+worker processes, and each worker instantiates only its share of the
+machine — its own :class:`~repro.pdm.disk_array.DiskArray`,
+:class:`~repro.pdm.memory.InternalMemory`,
+:class:`~repro.core.layouts.MessageMatrix` and
+:class:`~repro.core.layouts.RegionAllocator` — and simulates its virtual
+processors with the exact :class:`~repro.core.par_engine.ParEMEngine`
+machinery.
+
+Round protocol (one iteration of the driver loop):
+
+1. the coordinator broadcasts ``("round", r)`` to every worker;
+2. each worker runs its local virtual processors' compound supersteps;
+   step (d) traffic whose destination real lives in another worker is
+   serialized *at the source* (blocks packed once, memory charged to the
+   source real) and buffered per destination worker;
+3. **exchange** — every worker sends exactly one packet, tagged
+   ``(round, phase, src_worker)``, to every other worker (empty packets
+   included), then waits for one packet from each peer: the inter-process
+   barrier that stands in for the paper's network;
+4. received bundles are staged on the destination's disks grouped per
+   source virtual processor in ascending-pid order, replaying the
+   sequential backend's per-owner DiskWrite batches;
+5. ``_flip()`` everywhere (twice, with a second exchange in between, in
+   balanced mode), and each worker ships its :class:`RoundStep` delta —
+   I/O counters, h-relation sizes, wall times, drained trace events — to
+   the coordinator, which merges them into one per-round record.
+
+Determinism: every ``CostReport`` counter the coordinator reports is
+bit-identical to the single-process simulation.  The staggered-slot
+geometry is pure arithmetic in (src, dest, nblocks, parity); overflow runs
+use consecutive format anchored on disk 0, so DiskWrite/DiskRead batching
+— and hence ``parallel_ios`` — depends only on block *counts*, never on
+which track the allocator handed out; inbox delivery is sorted by source
+pid; and all remaining counters are order-independent sums or per-real
+maxima.  The different allocator interleaving across processes can move
+regions to different tracks, but no counter observes track numbers.
+The ``fork`` start method is preferred (workers inherit the interpreter
+state, so serialization is byte-identical and programs need not be
+picklable); ``spawn`` is the fallback elsewhere.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import queue
+import traceback
+from typing import Any
+
+from repro.cgm.config import MachineConfig
+from repro.cgm.engine import Engine, RoundStep
+from repro.cgm.message import Message
+from repro.cgm.metrics import CostReport
+from repro.cgm.program import CGMProgram
+from repro.core.par_engine import ParEMEngine, emit_block_metrics
+from repro.obs.trace import JsonlRecorder, replay_events
+from repro.pdm.io_stats import IOStats
+from repro.util.rng import spawn_rngs
+from repro.util.validation import SimulationError
+
+#: seconds a blocked queue read waits between abort-flag polls.
+_POLL_S = 0.25
+#: empty poll cycles tolerated after a peer process is seen dead.
+_DEAD_GRACE = 8
+
+
+def partition_reals(p: int, n_workers: int) -> list[list[int]]:
+    """Contiguous split of real processors 0..p-1 over the workers."""
+    base, extra = divmod(p, n_workers)
+    plan, nxt = [], 0
+    for w in range(n_workers):
+        k = base + (1 if w < extra else 0)
+        plan.append(list(range(nxt, nxt + k)))
+        nxt += k
+    return plan
+
+
+def _mp_context():
+    try:
+        return mp.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX fallback
+        return mp.get_context("spawn")
+
+
+class _Abort(SimulationError):
+    """Raised inside a worker when the coordinator signalled shutdown."""
+
+
+def _poll_get(q, abort, what: str):
+    """Blocking queue read that honours the shared abort flag."""
+    while True:
+        if abort.is_set():
+            raise _Abort(f"aborted while waiting for {what}")
+        try:
+            return q.get(timeout=_POLL_S)
+        except queue.Empty:
+            continue
+
+
+class _Network:
+    """One worker's view of the simulated network (peer-to-peer queues).
+
+    Packets are tagged ``(round, phase, src_worker)``; a packet from a
+    peer that has already raced ahead into a later phase is buffered, so
+    the exchange of one phase can never consume another phase's traffic.
+    """
+
+    def __init__(self, worker_id: int, inboxes, abort) -> None:
+        self.worker_id = worker_id
+        self.inboxes = inboxes
+        self.abort = abort
+        self._buffer: dict[tuple[int, int], dict[int, list]] = {}
+
+    def exchange(self, outgoing: dict[int, list], r: int, phase: int) -> list:
+        """Send one packet to every peer, receive one from each; returns
+        the concatenated remote items."""
+        for w in sorted(outgoing):
+            self.inboxes[w].put((r, phase, self.worker_id, outgoing[w]))
+        expected = set(outgoing)
+        got = self._buffer.pop((r, phase), {})
+        while expected - set(got):
+            rr, pp, src, items = _poll_get(
+                self.inboxes[self.worker_id],
+                self.abort,
+                f"round {r} phase {phase} packets",
+            )
+            if (rr, pp) == (r, phase):
+                got[src] = items
+            else:
+                self._buffer.setdefault((rr, pp), {})[src] = items
+        merged: list = []
+        for src in sorted(got):
+            merged.extend(got[src])
+        return merged
+
+
+class _WorkerEngine(ParEMEngine):
+    """The slice of the p-processor machine owned by one worker process.
+
+    Inherits every storage and accounting mechanism of
+    :class:`ParEMEngine`; only message routing is split between the local
+    disks and the network.  ``name`` stays ``"par-em"`` so cost
+    cross-checks treat worker-produced reports like sequential ones.
+    """
+
+    def __init__(
+        self,
+        cfg: MachineConfig,
+        balanced: bool,
+        worker_id: int,
+        plan: list[list[int]],
+        tracer=None,
+    ) -> None:
+        super().__init__(cfg, balanced=balanced, validate=False, tracer=tracer)
+        self.worker_id = worker_id
+        self._reals = list(plan[worker_id])
+        self._real_worker = {r: w for w, reals in enumerate(plan) for r in reals}
+        self.n_workers = len(plan)
+        #: remote bundles buffered during the current phase, per worker.
+        self._outgoing: dict[int, list] | None = None
+
+    # ------------------------------------------------------------ topology
+
+    def _storage_reals(self):
+        return self._reals
+
+    def _local_pids(self):
+        vpr = self.cfg.vprocs_per_real
+        return [pid for r in self._reals for pid in range(r * vpr, (r + 1) * vpr)]
+
+    # ------------------------------------------------------------- routing
+
+    def _put_messages(self, src_pid: int, msgs: list[Message]) -> None:
+        bundles = self._bundle_outbox(src_pid, msgs)
+        local = []
+        for bundle in bundles:
+            w = self._real_worker[self._owner(bundle[0])]
+            if w == self.worker_id:
+                local.append(bundle)
+            else:
+                self._outgoing[w].append((src_pid, bundle))
+        by_owner = self._stage_bundles(src_pid, local)
+        for owner, placements in by_owner.items():
+            self.arrays[owner].write_blocks(placements)
+        self._release(src_pid)
+
+    def _apply_remote(self, items: list) -> None:
+        """Stage bundles shipped from peer workers.
+
+        Grouped per source pid in ascending order, one DiskWrite batch
+        per destination real — exactly the batches the sequential backend
+        issues for that source's outbox restricted to these reals.
+        """
+        by_src: dict[int, list] = {}
+        for src_pid, bundle in items:
+            by_src.setdefault(src_pid, []).append(bundle)
+        for src_pid in sorted(by_src):
+            by_owner = self._stage_bundles(src_pid, by_src[src_pid])
+            for owner, placements in by_owner.items():
+                self.arrays[owner].write_blocks(placements)
+
+    def _exchange_phase(self, net: _Network, r: int, phase: int) -> None:
+        outgoing = self._outgoing
+        self._outgoing = None
+        self._apply_remote(net.exchange(outgoing, r, phase))
+
+    def _begin_phase(self) -> None:
+        self._outgoing = {
+            w: [] for w in range(self.n_workers) if w != self.worker_id
+        }
+
+    # ------------------------------------------------------------ per round
+
+    def execute_local_round(
+        self, program: CGMProgram, r: int, rngs: list, net: _Network
+    ) -> RoundStep:
+        """This worker's share of one CGM round, including both network
+        exchanges; mirrors :meth:`Engine._execute_round`."""
+        cfg = self.cfg
+        step = RoundStep.empty(cfg.v, cfg.p)
+        io_before = self._io_totals()
+        self._begin_phase()
+        for pid in self._local_pids():
+            self._run_vproc(program, r, pid, rngs[pid], step)
+        self._exchange_phase(net, r, 0)
+        self._flip()
+        if self.balanced:
+            self._begin_phase()
+            self._relay_superstep()
+            self._exchange_phase(net, r, 1)
+            self._flip()
+        step.io = self._io_totals().delta_since(io_before)
+        return step
+
+
+def _worker_main(
+    worker_id: int,
+    cfg: MachineConfig,
+    balanced: bool,
+    trace_enabled: bool,
+    plan: list[list[int]],
+    program: CGMProgram,
+    max_message_items: int,
+    cmd_q,
+    result_q,
+    net_qs,
+    abort,
+) -> None:
+    """Worker process entry point: a command loop driven by the coordinator.
+
+    Commands: ``("setup", {pid: input})``, ``("round", r)``, ``("finish",)``,
+    ``("stop",)``.  Any exception is reported on the result queue as an
+    ``("error", traceback)`` message.
+    """
+    try:
+        tracer = JsonlRecorder() if trace_enabled else None
+        eng = _WorkerEngine(cfg, balanced, worker_id, plan, tracer=tracer)
+        eng._max_message_items = max_message_items
+        eng._start(program)
+        net = _Network(worker_id, net_qs, abort)
+        rngs = spawn_rngs(cfg.seed, cfg.v)
+        while True:
+            cmd = _poll_get(cmd_q, abort, "a coordinator command")
+            op = cmd[0]
+            if op == "setup":
+                eng._setup_contexts(program, cmd[1])
+                result_q.put((worker_id, "setup", None))
+            elif op == "round":
+                r = cmd[1]
+                step = eng.execute_local_round(program, r, rngs, net)
+                payload = {
+                    "sent": [(pid, n) for pid, n in enumerate(step.sent) if n],
+                    "recv": [(pid, n) for pid, n in enumerate(step.recv) if n],
+                    "wall": [
+                        (real, s)
+                        for real, s in enumerate(step.per_real_wall)
+                        if s
+                    ],
+                    "messages": step.messages,
+                    "comm_items": step.comm_items,
+                    "cross_items": step.cross_items,
+                    "all_done": step.all_done,
+                    "io": step.io,
+                    "pending": eng._pending_messages(),
+                    "events": tracer.drain() if tracer else [],
+                }
+                result_q.put((worker_id, "round", payload))
+            elif op == "finish":
+                outputs = {
+                    pid: program.finish(eng._load_context(pid))
+                    for pid in eng._local_pids()
+                }
+                for pid in list(eng._charged):
+                    eng._release(pid)
+                payload = {
+                    "outputs": outputs,
+                    "io_by_real": {rl: eng.arrays[rl].stats for rl in eng._reals},
+                    "mem_peaks": {rl: eng.memories[rl].peak for rl in eng._reals},
+                    "ctx_io": eng._ctx_blocks_io,
+                    "msg_io": eng._msg_blocks_io,
+                    "ovf": eng._overflow_blocks,
+                    "events": tracer.drain() if tracer else [],
+                }
+                result_q.put((worker_id, "final", payload))
+            elif op == "stop":
+                return
+            else:  # pragma: no cover - protocol bug
+                raise SimulationError(f"unknown worker command {op!r}")
+    except _Abort:
+        pass
+    except BaseException:
+        try:
+            result_q.put((worker_id, "error", traceback.format_exc()))
+        except Exception:  # pragma: no cover - queue already torn down
+            pass
+
+
+class ProcessParEngine(Engine):
+    """Coordinator of the multi-core Algorithm 3 backend.
+
+    Drives the shared :meth:`Engine.run` loop but delegates every round to
+    the worker processes and merges their per-round accounting; the
+    resulting :class:`CostReport` is bit-identical to
+    :class:`ParEMEngine`'s while wall-clock scales with the core count.
+    """
+
+    #: cost cross-checks and the bench store key off the engine name, and
+    #: the worker backend models the same machine, so it keeps "par-em".
+    name = "par-em"
+
+    def __init__(
+        self,
+        cfg: MachineConfig,
+        balanced: bool = False,
+        validate: bool = True,
+        tracer=None,
+        metrics=None,
+    ) -> None:
+        super().__init__(
+            cfg, balanced=balanced, validate=validate, tracer=tracer, metrics=metrics
+        )
+        self.n_workers = max(1, min(cfg.workers or cfg.p, cfg.p))
+        self._procs: list = []
+        self._pending = False
+
+    # ------------------------------------------------------------ lifecycle
+
+    def _start(self, program: CGMProgram) -> None:
+        cfg = self.cfg
+        self._plan = partition_reals(cfg.p, self.n_workers)
+        ctx = _mp_context()
+        self._abort = ctx.Event()
+        self._result_q = ctx.Queue()
+        self._cmd_qs = [ctx.Queue() for _ in range(self.n_workers)]
+        self._net_qs = [ctx.Queue() for _ in range(self.n_workers)]
+        self._procs = []
+        for w in range(self.n_workers):
+            proc = ctx.Process(
+                target=_worker_main,
+                args=(
+                    w,
+                    cfg,
+                    self.balanced,
+                    self.tracer.enabled,
+                    self._plan,
+                    program,
+                    self._max_message_items,
+                    self._cmd_qs[w],
+                    self._result_q,
+                    self._net_qs,
+                    self._abort,
+                ),
+                daemon=True,
+            )
+            proc.start()
+            self._procs.append(proc)
+
+    def run(self, program: CGMProgram, inputs: list[Any]):
+        try:
+            return super().run(program, inputs)
+        finally:
+            self._shutdown()
+
+    def _shutdown(self) -> None:
+        if not self._procs:
+            return
+        for q in self._cmd_qs:
+            try:
+                q.put(("stop",))
+            except Exception:  # pragma: no cover - queue torn down
+                pass
+        for proc in self._procs:
+            proc.join(timeout=5.0)
+        for proc in self._procs:
+            if proc.is_alive():  # pragma: no cover - stuck worker
+                self._abort.set()
+                proc.join(timeout=2.0)
+                if proc.is_alive():
+                    proc.terminate()
+        self._procs = []
+
+    # ---------------------------------------------------------- round hooks
+
+    def _broadcast(self, cmd: tuple) -> None:
+        for q in self._cmd_qs:
+            q.put(cmd)
+
+    def _gather(self, kind: str) -> dict[int, Any]:
+        """One reply of *kind* from every worker, keyed by worker id."""
+        got: dict[int, Any] = {}
+        dead_cycles = 0
+        while len(got) < self.n_workers:
+            try:
+                w, k, payload = self._result_q.get(timeout=_POLL_S)
+            except queue.Empty:
+                awaited_dead = [
+                    w
+                    for w in range(self.n_workers)
+                    if w not in got and not self._procs[w].is_alive()
+                ]
+                if awaited_dead:
+                    dead_cycles += 1
+                    if dead_cycles >= _DEAD_GRACE:
+                        self._abort.set()
+                        raise SimulationError(
+                            f"worker(s) {awaited_dead} died without reporting "
+                            f"a result for {kind!r}"
+                        )
+                continue
+            if k == "error":
+                self._abort.set()
+                raise SimulationError(f"worker {w} failed:\n{payload}")
+            if k != kind:  # pragma: no cover - protocol bug
+                raise SimulationError(f"worker {w} sent {k!r}, expected {kind!r}")
+            got[w] = payload
+        return got
+
+    def _setup_contexts(self, program: CGMProgram, inputs: list[Any]) -> None:
+        vpr = self.cfg.vprocs_per_real
+        for w, q in enumerate(self._cmd_qs):
+            local = {
+                pid: inputs[pid]
+                for real in self._plan[w]
+                for pid in range(real * vpr, (real + 1) * vpr)
+            }
+            q.put(("setup", local))
+        self._gather("setup")
+
+    def _execute_round(self, program: CGMProgram, r: int, rngs: list) -> RoundStep:
+        cfg = self.cfg
+        self._broadcast(("round", r))
+        results = self._gather("round")
+        step = RoundStep.empty(cfg.v, cfg.p)
+        io = IOStats(D=cfg.D)
+        self._pending = False
+        for w in sorted(results):
+            payload = results[w]
+            for pid, n in payload["sent"]:
+                step.sent[pid] += n
+            for pid, n in payload["recv"]:
+                step.recv[pid] += n
+            for real, s in payload["wall"]:
+                step.per_real_wall[real] += s
+            step.messages += payload["messages"]
+            step.comm_items += payload["comm_items"]
+            step.cross_items += payload["cross_items"]
+            step.all_done &= payload["all_done"]
+            io.merge(payload["io"])
+            self._pending |= payload["pending"]
+            replay_events(self.tracer, payload["events"], worker=w)
+        step.io = io
+        return step
+
+    def _pending_messages(self) -> bool:
+        return self._pending
+
+    def _supersteps_per_round(self) -> int:
+        # Lemma 4, same as ParEMEngine: v/p real supersteps per CGM round.
+        return self.cfg.vprocs_per_real
+
+    def _round_boundary(self, r: int) -> None:
+        pass
+
+    # ------------------------------------------------------------- wrap-up
+
+    def _collect_outputs(self, program: CGMProgram) -> list[Any]:
+        self._broadcast(("finish",))
+        finals = self._gather("final")
+        outputs: dict[int, Any] = {}
+        self._finals = finals
+        for w in sorted(finals):
+            outputs.update(finals[w]["outputs"])
+            replay_events(self.tracer, finals[w]["events"], worker=w)
+        return [outputs[pid] for pid in range(self.cfg.v)]
+
+    def _finalize(self, report: CostReport) -> None:
+        io_by_real: dict[int, IOStats] = {}
+        mem_peaks: dict[int, int] = {}
+        ctx_io = msg_io = ovf = 0
+        for w in sorted(self._finals):
+            payload = self._finals[w]
+            io_by_real.update(payload["io_by_real"])
+            mem_peaks.update(payload["mem_peaks"])
+            ctx_io += payload["ctx_io"]
+            msg_io += payload["msg_io"]
+            ovf += payload["ovf"]
+        ParEMEngine._fold_stats(
+            report,
+            [io_by_real[r] for r in sorted(io_by_real)],
+            [mem_peaks[r] for r in sorted(mem_peaks)],
+            ctx_io,
+            msg_io,
+            ovf,
+        )
+        emit_block_metrics(self.metrics, self.name, self.cfg, ctx_io, msg_io, ovf)

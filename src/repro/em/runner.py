@@ -14,6 +14,7 @@ p == 1), ``"par"`` (Algorithm 3), ``"memory"`` (pure CGM reference), or
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Any
 
@@ -49,7 +50,13 @@ def make_engine(
     tracer: TraceRecorder | None = None,
     metrics: MetricsRegistry | None = None,
 ) -> Engine:
-    """Engine factory; ``None`` picks seq/par EM from ``cfg.p``."""
+    """Engine factory; ``None`` picks seq/par EM from ``cfg.p``.
+
+    The ``par`` backend switches to the multi-core worker implementation
+    when ``cfg.workers > 1`` (or the ``REPRO_WORKERS`` environment
+    variable requests it and the config leaves ``workers`` unset) and
+    there is more than one real processor to parallelize over.
+    """
     if engine is None:
         engine = "seq" if cfg.p == 1 else "par"
     try:
@@ -58,6 +65,18 @@ def make_engine(
         raise ConfigurationError(
             f"unknown engine {engine!r}; choose from {sorted(_ENGINES)}"
         ) from None
+    if engine == "par" and cfg.p > 1:
+        workers = cfg.workers or int(os.environ.get("REPRO_WORKERS") or 0)
+        if workers > 1:
+            from repro.core.workers import ProcessParEngine
+
+            return ProcessParEngine(
+                cfg.with_(workers=workers),
+                balanced=balanced,
+                validate=validate,
+                tracer=tracer,
+                metrics=metrics,
+            )
     return cls(cfg, balanced=balanced, validate=validate, tracer=tracer, metrics=metrics)
 
 

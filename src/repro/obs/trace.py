@@ -6,7 +6,7 @@ Event kinds and their tags (all optional except ``kind``):
 ================== ======================================================
 kind               tags
 ================== ======================================================
-``run_begin``      engine, N, v, p, D, B, M, balanced
+``run_begin``      engine, N, v, p, D, B, M, workers, balanced
 ``superstep_begin`` superstep (real-machine index), round (CGM round)
 ``superstep_end``  superstep, round, parallel_ios, blocks (deltas)
 ``compute_round``  pid, real, round, wall_s, done
@@ -20,7 +20,9 @@ kind               tags
 
 ``layout`` is the disk format the blocks moved through: ``"consecutive"``
 (contexts, overflow runs), ``"staggered"`` (the Figure 2 message matrix)
-or ``"paged"`` (the VM baseline's 4 KB pager).
+or ``"paged"`` (the VM baseline's 4 KB pager).  Events recorded inside a
+worker process of the multi-core backend are replayed on the coordinator's
+recorder with an extra ``worker`` tag (see :func:`replay_events`).
 
 Engines guard every emission on :attr:`TraceRecorder.enabled`, so a run
 with the :data:`NULL_RECORDER` never builds an event dict — the disabled
@@ -118,12 +120,40 @@ class JsonlRecorder(TraceRecorder):
             out[ev["kind"]] = out.get(ev["kind"], 0) + 1
         return out
 
+    def drain(self) -> list[dict[str, Any]]:
+        """Return and clear the buffered events.
+
+        Worker processes of the multi-core backend drain their recorder
+        after every round and ship the events to the coordinator, which
+        re-emits them via :func:`replay_events`.
+        """
+        out = self.events
+        self.events = []
+        return out
+
 
 def _jsonable(obj: Any) -> Any:
     """JSON fallback for numpy scalars and other simple objects."""
     if hasattr(obj, "item"):
         return obj.item()
     return str(obj)
+
+
+def replay_events(
+    recorder: TraceRecorder, events: list[dict[str, Any]], **extra_tags: Any
+) -> None:
+    """Re-emit *events* (drained from another recorder) on *recorder*.
+
+    The source recorder's ``seq``/``ts`` bookkeeping is stripped — the
+    receiving recorder assigns its own ordering — and *extra_tags* (e.g.
+    ``worker=3``) are attached to every event.
+    """
+    if not recorder.enabled:
+        return
+    for ev in events:
+        tags = {k: v for k, v in ev.items() if k not in ("seq", "ts", "kind")}
+        tags.update(extra_tags)
+        recorder.emit(ev["kind"], **tags)
 
 
 def read_jsonl(path: str) -> list[dict[str, Any]]:

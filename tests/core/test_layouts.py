@@ -145,3 +145,69 @@ class TestRegionAllocator:
         alloc = RegionAllocator(D=2, first_track=7)
         alloc.alloc(4)
         assert alloc.high_water_track == 9
+
+    def test_freed_region_is_reused(self):
+        alloc = RegionAllocator(D=2, first_track=0)
+        r1 = alloc.alloc(4)  # rows 0-1
+        alloc.alloc(2)       # row 2 keeps the cursor up
+        alloc.free(*r1)
+        assert alloc.free_rows == 2
+        r3 = alloc.alloc(4)
+        assert r3 == r1      # same rows handed back, no growth
+        assert alloc.high_water_track == 3
+
+    def test_best_fit_prefers_smallest_adequate_region(self):
+        alloc = RegionAllocator(D=1, first_track=0)
+        big = alloc.alloc(4)     # rows 0-3
+        alloc.alloc(1)           # row 4 (separator)
+        small = alloc.alloc(2)   # rows 5-6
+        alloc.alloc(1)           # row 7 keeps the cursor above everything
+        alloc.free(*big)
+        alloc.free(*small)
+        start, rows = alloc.alloc(2)
+        assert (start, rows) == small  # smallest fit wins, not lowest track
+
+    def test_adjacent_free_regions_coalesce(self):
+        alloc = RegionAllocator(D=1, first_track=0)
+        a = alloc.alloc(2)  # rows 0-1
+        b = alloc.alloc(2)  # rows 2-3
+        c = alloc.alloc(2)  # rows 4-5
+        alloc.alloc(1)      # row 6 separator
+        alloc.free(*a)
+        alloc.free(*c)
+        alloc.free(*b)      # bridges a and c into one region
+        assert alloc.free_rows == 6
+        assert alloc.alloc(6) == (0, 6)
+
+    def test_free_at_cursor_retracts_it(self):
+        alloc = RegionAllocator(D=2, first_track=10)
+        a = alloc.alloc(4)  # rows 10-11
+        b = alloc.alloc(4)  # rows 12-13
+        assert alloc.high_water_track == 14
+        alloc.free(*b)
+        assert alloc.high_water_track == 12
+        alloc.free(*a)      # coalesces with the retraction chain
+        assert alloc.high_water_track == 10
+        assert alloc.free_rows == 0
+
+    def test_split_leaves_remainder_on_free_list(self):
+        alloc = RegionAllocator(D=1, first_track=0)
+        big = alloc.alloc(5)
+        alloc.alloc(1)      # separator pins the cursor
+        alloc.free(*big)
+        start, rows = alloc.alloc(2)
+        assert (start, rows) == (0, 2)
+        assert alloc.free_rows == 3  # remainder of the split region
+
+    def test_churn_stays_bounded(self):
+        """Allocate/free cycles must not grow the high-water mark."""
+        alloc = RegionAllocator(D=2, first_track=0)
+        hold = alloc.alloc(6)  # long-lived region, rows 0-2
+        water = []
+        for _ in range(200):
+            r = alloc.alloc(8)
+            alloc.free(*r)
+            water.append(alloc.high_water_track)
+        assert max(water) == water[0]  # no leak: every round reuses rows
+        alloc.free(*hold)
+        assert alloc.high_water_track == 0

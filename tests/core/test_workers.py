@@ -1,0 +1,228 @@
+"""The multi-core worker backend (repro.core.workers): partitioning,
+counter bit-identity vs. the single-process simulation, trace merging,
+output correctness, and failure propagation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cgm.config import MachineConfig
+from repro.cgm.program import CGMProgram
+from repro.core.workers import ProcessParEngine, partition_reals
+from repro.em.runner import em_run, em_sort, make_engine
+from repro.obs.trace import JsonlRecorder
+from repro.util.rng import make_rng
+
+V, D, B = 8, 2, 64
+N = 1 << 14
+
+
+def _counters(report) -> dict:
+    return {
+        "parallel_ios": report.io.parallel_ios,
+        "blocks_total": report.io.blocks_total,
+        "io_dict": report.io.as_dict(),
+        "io_max": report.io_max.parallel_ios,
+        "context_blocks_io": report.context_blocks_io,
+        "message_blocks_io": report.message_blocks_io,
+        "overflow_blocks": report.overflow_blocks,
+        "peak_memory": report.peak_memory_items,
+        "comm_items": report.comm_items,
+        "cross_items": report.cross_items,
+        "rounds": report.rounds,
+        "supersteps": report.supersteps,
+        "h_history": report.h_history,
+    }
+
+
+class TestPartition:
+    def test_even_split(self):
+        assert partition_reals(4, 2) == [[0, 1], [2, 3]]
+
+    def test_uneven_split_front_loads(self):
+        assert partition_reals(5, 2) == [[0, 1, 2], [3, 4]]
+
+    def test_one_worker(self):
+        assert partition_reals(3, 1) == [[0, 1, 2]]
+
+    def test_worker_per_real(self):
+        assert partition_reals(3, 3) == [[0], [1], [2]]
+
+
+class TestDispatch:
+    def test_runner_selects_process_backend(self):
+        cfg = MachineConfig(N=N, v=V, p=2, D=D, B=B, workers=2)
+        assert isinstance(make_engine(cfg, "par"), ProcessParEngine)
+
+    def test_default_stays_in_process(self, monkeypatch):
+        from repro.core.par_engine import ParEMEngine
+
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        cfg = MachineConfig(N=N, v=V, p=2, D=D, B=B)
+        eng = make_engine(cfg, "par")
+        assert type(eng) is ParEMEngine
+
+    def test_env_var_opt_in(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "2")
+        cfg = MachineConfig(N=N, v=V, p=2, D=D, B=B)
+        assert isinstance(make_engine(cfg, "par"), ProcessParEngine)
+
+    def test_p1_never_multiprocess(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "4")
+        cfg = MachineConfig(N=N, v=V, p=1, D=D, B=B)
+        assert not isinstance(make_engine(cfg, "seq"), ProcessParEngine)
+
+    def test_workers_capped_at_p(self):
+        cfg = MachineConfig(N=N, v=V, p=2, D=D, B=B, workers=16)
+        eng = make_engine(cfg, "par")
+        assert eng.n_workers == 2
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("p", [2, 4])
+    def test_sort_counters_match_sequential(self, p):
+        data = make_rng(0).integers(0, 2**50, N)
+        cfg = MachineConfig(N=N, v=V, p=p, D=D, B=B)
+        seq = em_sort(data, cfg, engine="par")
+        par = em_sort(data, cfg.with_(workers=p), engine="par")
+        assert np.array_equal(par.values, np.sort(data))
+        assert _counters(seq.report) == _counters(par.report)
+
+    def test_fewer_workers_than_reals(self):
+        """workers=2 over p=4: each worker simulates two real processors."""
+        data = make_rng(1).integers(0, 2**50, N)
+        cfg = MachineConfig(N=N, v=V, p=4, D=D, B=B)
+        seq = em_sort(data, cfg, engine="par")
+        par = em_sort(data, cfg.with_(workers=2), engine="par")
+        assert np.array_equal(par.values, np.sort(data))
+        assert _counters(seq.report) == _counters(par.report)
+
+    def test_balanced_mode_matches(self):
+        data = make_rng(2).integers(0, 2**50, N)
+        cfg = MachineConfig(N=N, v=V, p=4, D=D, B=B)
+        seq = em_sort(data, cfg, engine="par", balanced=True)
+        par = em_sort(data, cfg.with_(workers=4), engine="par", balanced=True)
+        assert np.array_equal(par.values, np.sort(data))
+        assert _counters(seq.report) == _counters(par.report)
+
+    def test_per_round_io_deltas_match(self):
+        data = make_rng(3).integers(0, 2**50, N)
+        cfg = MachineConfig(N=N, v=V, p=4, D=D, B=B)
+        seq = em_sort(data, cfg, engine="par")
+        par = em_sort(data, cfg.with_(workers=4), engine="par")
+        for a, b in zip(seq.report.per_round, par.report.per_round):
+            assert a.io.as_dict() == b.io.as_dict()
+            assert (a.h_in, a.h_out, a.messages, a.comm_items) == (
+                b.h_in,
+                b.h_out,
+                b.messages,
+                b.comm_items,
+            )
+
+
+class TestTraces:
+    def test_event_counts_match_and_workers_are_tagged(self):
+        data = make_rng(4).integers(0, 2**50, N)
+        cfg = MachineConfig(N=N, v=V, p=4, D=D, B=B)
+        t_seq, t_par = JsonlRecorder(), JsonlRecorder()
+        em_sort(data, cfg, engine="par", tracer=t_seq)
+        em_sort(data, cfg.with_(workers=4), engine="par", tracer=t_par)
+        assert t_seq.counts() == t_par.counts()
+        worker_side = {"compute_round", "context_read", "context_write",
+                       "message_read", "message_write", "network_transfer"}
+        for ev in t_par.events:
+            assert ("worker" in ev) == (ev["kind"] in worker_side), ev
+        workers_seen = {ev["worker"] for ev in t_par.events if "worker" in ev}
+        assert workers_seen == {0, 1, 2, 3}
+
+    def test_run_begin_records_workers(self):
+        tr = JsonlRecorder()
+        cfg = MachineConfig(N=N, v=V, p=2, D=D, B=B, workers=2)
+        em_sort(make_rng(5).integers(0, 2**40, N), cfg, engine="par", tracer=tr)
+        begin = [ev for ev in tr.events if ev["kind"] == "run_begin"]
+        assert begin and begin[0]["workers"] == 2
+
+
+class _Boom(CGMProgram):
+    name = "boom"
+    kappa = 1.0
+
+    def max_message_items(self, cfg):
+        return 8
+
+    def setup(self, ctx, pid, cfg, local_input):
+        ctx["pid"] = pid
+
+    def round(self, r, ctx, env):
+        if ctx["pid"] == env.v - 1:
+            raise RuntimeError("deliberate failure in the last vproc")
+        return True
+
+    def finish(self, ctx):
+        return None
+
+
+class TestFailureHandling:
+    def test_worker_exception_propagates_and_cleans_up(self):
+        from repro.util.validation import SimulationError
+
+        cfg = MachineConfig(N=1 << 12, v=4, p=4, D=D, B=32, workers=4)
+        eng = make_engine(cfg, "par")
+        with pytest.raises(SimulationError, match="deliberate failure"):
+            eng.run(_Boom(), [None] * 4)
+        assert eng._procs == []  # all worker processes reaped
+
+    def test_processes_reaped_after_success(self):
+        cfg = MachineConfig(N=1 << 12, v=4, p=2, D=D, B=32, workers=2)
+        eng = make_engine(cfg, "par")
+        data = make_rng(6).integers(0, 2**40, 1 << 12)
+        from repro.algorithms.collectives import partition_array
+        from repro.algorithms.sorting import SampleSort
+
+        eng.run(SampleSort(), partition_array(data, 4))
+        assert eng._procs == []
+
+
+class _InboxRecorder(CGMProgram):
+    """Round 0 sends a fixed tricky outbox; round 1 records the inbox."""
+
+    name = "inbox-recorder"
+    kappa = 1.0
+
+    def max_message_items(self, cfg):
+        return 16
+
+    def setup(self, ctx, pid, cfg, local_input):
+        ctx["pid"] = pid
+
+    def round(self, r, ctx, env):
+        pid = ctx["pid"]
+        if r == 0:
+            env.send((pid + 1) % env.v, np.array([], dtype=np.int64), tag="empty")
+            env.send((pid + 1) % env.v, np.arange(16) + pid, tag="dup")
+            env.send((pid + 1) % env.v, np.arange(16) * pid, tag="dup")
+            if pid == 0:
+                env.send(env.v - 1, np.full(64, 7), tag="big")
+            return False
+        ctx["inbox"] = sorted(
+            (m.src, m.tag, m.size_items, m.payload.tobytes())
+            for m in env.messages()
+        )
+        return True
+
+    def finish(self, ctx):
+        return ctx["inbox"]
+
+
+class TestDelivery:
+    @pytest.mark.parametrize("balanced", [False, True])
+    def test_inboxes_identical_to_sequential(self, balanced):
+        cfg = MachineConfig(N=1 << 12, v=4, p=4, D=D, B=32)
+        ref = em_run(_InboxRecorder(), [None] * 4, cfg, "par", balanced=balanced)
+        got = em_run(
+            _InboxRecorder(), [None] * 4, cfg.with_(workers=4), "par",
+            balanced=balanced,
+        )
+        assert got.outputs == ref.outputs
+        assert got.report.io.as_dict() == ref.report.io.as_dict()
