@@ -16,7 +16,7 @@ import pytest
 
 from repro.cgm.config import MachineConfig
 from repro.cgm.message import Message
-from repro.cgm.program import CGMProgram, Context, RoundEnv
+from repro.cgm.program import CGMProgram
 from repro.core.balanced import (
     balanced_message_bounds,
     phase_a_bin_sizes,

@@ -16,7 +16,6 @@ import numpy as np
 from repro.algorithms.geometry.slabs import (
     SlabProgram,
     interval_slabs,
-    slab_bounds,
     slab_of,
 )
 from repro.cgm.program import Context, RoundEnv

@@ -85,7 +85,6 @@ def separating_arc(poly: np.ndarray) -> tuple[bool, np.ndarray | None, tuple[flo
     # origin inside? support function test on a dense set of directions
     # is exact for polygons when done per-vertex: the origin is outside
     # iff some direction has all vertices strictly negative.
-    angles = np.arctan2(poly[:, 1], poly[:, 0])
     # candidate separating directions: normals of polygon edges + vertex dirs
     thetas = np.linspace(-np.pi, np.pi, 2048, endpoint=False)
     dirs = np.column_stack((np.cos(thetas), np.sin(thetas)))

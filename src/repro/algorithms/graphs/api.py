@@ -305,9 +305,9 @@ def lowest_common_ancestors(
     first[heads[d_idx]] = pos[d_idx] + 1
     first[root] = 0
 
-    l = np.minimum(first[queries[:, 0]], first[queries[:, 1]])
-    r = np.maximum(first[queries[:, 0]], first[queries[:, 1]])
-    qrows = np.column_stack((np.arange(queries.shape[0]), l, r))
+    lo = np.minimum(first[queries[:, 0]], first[queries[:, 1]])
+    hi = np.maximum(first[queries[:, 0]], first[queries[:, 1]])
+    qrows = np.column_stack((np.arange(queries.shape[0]), lo, hi))
 
     rmq = range_min_queries(depth_seq, qrows, cfg, payload=seq, engine=engine)
     lca = rmq.values[:, 2]

@@ -14,10 +14,10 @@ states so engines and benchmarks can enforce or display them.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Any
 
-from repro.util.validation import ConfigurationError, ConstraintViolation, require
+from repro.util.validation import ConstraintViolation, require
 
 
 @dataclass(frozen=True)

@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 from repro.cgm.config import MachineConfig
 from repro.cgm.message import Message
@@ -39,6 +39,10 @@ from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry
 from repro.obs.trace import NULL_RECORDER, TraceRecorder
 from repro.util.rng import spawn_rngs
 from repro.util.validation import ConfigurationError, SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations only
+    from repro.faults.checkpoint import CheckpointManager
+    from repro.faults.plan import FaultPlan
 
 #: hard guard against non-terminating programs.
 MAX_ROUNDS = 10_000
@@ -83,6 +87,11 @@ class Engine:
     """Template driver; subclasses provide the storage backend."""
 
     name = "abstract"
+    #: backends whose between-round state can be snapshotted/restored set
+    #: this True and implement ``_snapshot_backend``/``_restore_backend``.
+    supports_checkpoint = False
+    #: backends whose disk arrays accept a fault plan set this True.
+    supports_faults = False
 
     def __init__(
         self,
@@ -103,6 +112,15 @@ class Engine:
         #: metrics registry; same contract as the tracer — guard every
         #: emission on ``self.metrics.enabled``.
         self.metrics = metrics if metrics is not None else NULL_REGISTRY
+        #: resilience knobs, set post-construction (see repro.em.runner):
+        #: the fault plan applied to the disk arrays, the checkpoint
+        #: manager persisting round-boundary snapshots, and whether this
+        #: run restores from the newest snapshot instead of setting up.
+        self.faults: "FaultPlan | None" = None
+        self.checkpoint: "CheckpointManager | None" = None
+        self.resume = False
+        #: last snapshot written this run (crash recovery re-reads it).
+        self._last_ckpt: dict[str, Any] | None = None
 
     # ------------------------------------------------------------------ hooks
 
@@ -143,6 +161,31 @@ class Engine:
 
     def _finalize(self, report: CostReport) -> None:
         """Fold backend counters into the report."""
+
+    def _snapshot_backend(self) -> dict[str, Any]:
+        """Canonical picklable snapshot of all between-round backend state."""
+        raise NotImplementedError(f"{self.name} engine cannot checkpoint")
+
+    def _restore_backend(self, backend: dict[str, Any]) -> None:
+        """Inverse of :meth:`_snapshot_backend` (after :meth:`_start`)."""
+        raise NotImplementedError(f"{self.name} engine cannot checkpoint")
+
+    def _snapshot_state(self, rngs: list) -> dict[str, Any]:
+        """Backend snapshot plus per-virtual-processor RNG states.
+
+        The multi-process backend overrides this to gather both from its
+        workers (the coordinator's own *rngs* never advance there).
+        """
+        return {
+            "backend": self._snapshot_backend(),
+            "rng_states": [g.bit_generator.state for g in rngs],
+        }
+
+    def _restore_state(self, snap: dict[str, Any], rngs: list) -> None:
+        """Re-install a snapshot produced by :meth:`_snapshot_state`."""
+        for g, state in zip(rngs, snap["rng_states"]):
+            g.bit_generator.state = state
+        self._restore_backend(snap["backend"])
 
     def _supersteps_per_round(self) -> int:
         """Real-machine supersteps consumed per CGM round."""
@@ -259,6 +302,65 @@ class Engine:
         """Extract every virtual processor's output after the last round."""
         return [program.finish(self._load_context(pid)) for pid in self._local_pids()]
 
+    # -------------------------------------------------------- checkpointing
+
+    def _ckpt_meta(self, program: CGMProgram) -> dict[str, Any]:
+        """Run fingerprint stored in every checkpoint header.
+
+        Resume requires an exact match, so a snapshot can never silently
+        continue under a different program, machine shape, routing mode or
+        fault plan.  ``workers`` is deliberately excluded: the in-process
+        and multi-process par backends simulate the identical machine
+        (both are named ``par-em``), so snapshots are portable between
+        them and across worker counts.
+        """
+        cfg = self.cfg
+        return {
+            "engine": self.name,
+            "program": program.name,
+            "balanced": self.balanced,
+            "faults": self.faults.to_dict() if self.faults is not None else None,
+            "cfg": {
+                "N": cfg.N, "v": cfg.v, "p": cfg.p,
+                "D": cfg.D, "B": cfg.B, "M": cfg.M, "seed": cfg.seed,
+            },
+        }
+
+    def _write_checkpoint(
+        self,
+        program: CGMProgram,
+        r: int,
+        report: CostReport,
+        rngs: list,
+        finished: bool,
+    ) -> None:
+        cm = self.checkpoint
+        if cm is None:
+            return
+        snap: dict[str, Any] = {"round": r, "finished": finished, "report": report}
+        snap.update(self._snapshot_state(rngs))
+        path = cm.save(r, snap, self._ckpt_meta(program))
+        self._last_ckpt = snap
+        if self.tracer.enabled:
+            self.tracer.emit("checkpoint", round=r, finished=finished, path=path)
+
+    def _resume_from_checkpoint(
+        self, program: CGMProgram, rngs: list
+    ) -> tuple[int, bool, CostReport]:
+        """Restore the newest snapshot → (next round, finished, report)."""
+        assert self.checkpoint is not None
+        header, snap = self.checkpoint.load(self._ckpt_meta(program))
+        self._restore_state(snap, rngs)
+        self._last_ckpt = snap
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "resume",
+                round=snap["round"],
+                finished=snap["finished"],
+                path=self.checkpoint.latest_path(),
+            )
+        return snap["round"] + 1, snap["finished"], snap["report"]
+
     # ------------------------------------------------------------------ driver
 
     def run(self, program: CGMProgram, inputs: list[Any]) -> RunResult:
@@ -268,6 +370,18 @@ class Engine:
             raise ConfigurationError(
                 f"need one input slice per virtual processor: got {len(inputs)}, v={v}"
             )
+        if not self.supports_checkpoint and (self.checkpoint is not None or self.resume):
+            raise ConfigurationError(
+                f"the {self.name!r} engine does not support checkpoint/resume "
+                "(use the seq/par EM backends)"
+            )
+        if not self.supports_faults and self.faults is not None:
+            raise ConfigurationError(
+                f"the {self.name!r} engine does not support fault injection "
+                "(use the seq/par EM backends)"
+            )
+        if self.resume and self.checkpoint is None:
+            raise ConfigurationError("--resume requires a checkpoint directory")
         if self.validate:
             self.constraint_warnings = cfg.validate(kappa=program.kappa)
 
@@ -304,10 +418,18 @@ class Engine:
                 balanced=self.balanced,
             )
 
-        self._setup_contexts(program, inputs)
+        self._last_ckpt = None
+        finished = False
+        if self.resume:
+            r, finished, report = self._resume_from_checkpoint(program, rngs)
+        else:
+            r = 0
+            self._setup_contexts(program, inputs)
+            # an initial snapshot (round -1) makes even a crash in the
+            # very first round recoverable
+            self._write_checkpoint(program, -1, report, rngs, finished=False)
 
-        r = 0
-        while True:
+        while not finished:
             if tr.enabled:
                 tr.emit("superstep_begin", superstep=report.supersteps, round=r)
 
@@ -365,10 +487,10 @@ class Engine:
                     rm.io.parallel_ios
                 )
             self._round_boundary(r)
+            finished = all_done and not self._pending_messages()
+            self._write_checkpoint(program, r, report, rngs, finished)
             r += 1
-            if all_done and not self._pending_messages():
-                break
-            if r > MAX_ROUNDS:
+            if not finished and r > MAX_ROUNDS:
                 raise SimulationError(
                     f"program {program.name!r} exceeded {MAX_ROUNDS} rounds — "
                     "missing termination?"

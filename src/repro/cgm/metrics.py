@@ -16,6 +16,7 @@ parallel, not summed, time.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any
 
 from repro.pdm.io_stats import IOStats
 
@@ -57,6 +58,11 @@ class CostReport:
     context_blocks_io: int = 0      #: blocks moved for context swapping
     message_blocks_io: int = 0      #: blocks moved for message traffic
     overflow_blocks: int = 0        #: staggered-slot overflows (see SeqEMEngine)
+    #: physical-layer fault accounting (:class:`repro.faults.FaultStats`)
+    #: when the run was fault-injected, else None.  Kept separate from
+    #: ``io`` on purpose: the logical PDM counters above are bit-identical
+    #: between clean and fault-injected runs.
+    fault_stats: Any = None
 
     def add_round(self, m: RoundMetrics) -> None:
         self.rounds += 1

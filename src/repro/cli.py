@@ -25,6 +25,7 @@ import numpy as np
 
 from repro.cgm.config import MachineConfig
 from repro.pdm.io_stats import DiskServiceModel
+from repro.util.validation import ConfigurationError, SimulationError
 
 
 def _add_machine_args(p: argparse.ArgumentParser, n_default: int = 1 << 16) -> None:
@@ -75,6 +76,26 @@ def _add_machine_args(p: argparse.ArgumentParser, n_default: int = 1 << 16) -> N
         help="write the run's metrics registry to PATH "
         "(.json -> JSON snapshot, anything else -> Prometheus text)",
     )
+    p.add_argument(
+        "--faults",
+        metavar="PLAN.json",
+        default=None,
+        help="inject disk faults from a JSON fault plan (seq/par engines; "
+        "see repro.faults.FaultPlan)",
+    )
+    p.add_argument(
+        "--checkpoint",
+        metavar="DIR",
+        default=None,
+        help="snapshot the run into DIR at every round boundary so a "
+        "killed run can be resumed (seq/par engines)",
+    )
+    p.add_argument(
+        "--resume",
+        action="store_true",
+        help="restore the newest snapshot in --checkpoint DIR and "
+        "continue instead of starting over",
+    )
 
 
 def _config(args, n: int | None = None) -> MachineConfig:
@@ -114,6 +135,15 @@ def _write_trace(args, tracer) -> None:
     else:
         n = tracer.write_jsonl(args.trace)
     print(f"  trace            : {n} events -> {args.trace} ({args.trace_format})")
+
+
+def _resilience(args) -> dict:
+    """``faults``/``checkpoint``/``resume`` kwargs for the em_* helpers."""
+    return {
+        "faults": getattr(args, "faults", None),
+        "checkpoint": getattr(args, "checkpoint", None),
+        "resume": getattr(args, "resume", False),
+    }
 
 
 def _make_metrics(args):
@@ -174,6 +204,8 @@ def _report(label: str, report, cfg: MachineConfig) -> None:
         print(f"  page faults      : {report.page_faults}")
     if report.overflow_blocks:
         print(f"  overflow blocks  : {report.overflow_blocks} (consider --balanced)")
+    if report.fault_stats is not None and report.fault_stats.any:
+        print(f"  injected faults  : {report.fault_stats.summary()}")
 
 
 def cmd_sort(args) -> int:
@@ -186,7 +218,7 @@ def cmd_sort(args) -> int:
     registry = _make_metrics(args)
     res = em_sort(
         data, cfg, engine=args.engine, balanced=args.balanced,
-        tracer=tracer, metrics=registry,
+        tracer=tracer, metrics=registry, **_resilience(args),
     )
     ok = np.array_equal(res.values, np.sort(data))
     _report(f"sorted {args.n} items: {'OK' if ok else 'MISMATCH'}", res.report, cfg)
@@ -207,7 +239,7 @@ def cmd_permute(args) -> int:
     registry = _make_metrics(args)
     res = em_permute(
         values, perm, cfg, engine=args.engine, balanced=args.balanced,
-        tracer=tracer, metrics=registry,
+        tracer=tracer, metrics=registry, **_resilience(args),
     )
     expect = np.zeros(args.n, dtype=np.int64)
     expect[perm] = values
@@ -229,7 +261,7 @@ def cmd_transpose(args) -> int:
     registry = _make_metrics(args)
     res = em_transpose(
         mat, cfg, engine=args.engine, balanced=args.balanced,
-        tracer=tracer, metrics=registry,
+        tracer=tracer, metrics=registry, **_resilience(args),
     )
     ok = np.array_equal(res.values, mat.T)
     _report(
@@ -244,7 +276,7 @@ def cmd_transpose(args) -> int:
 
 
 def _note_trace_unsupported(args) -> None:
-    for flag in ("trace", "metrics"):
+    for flag in ("trace", "metrics", "faults", "checkpoint"):
         if getattr(args, flag, None) is not None:
             print(
                 f"note: --{flag} is wired for sort/permute/transpose; "
@@ -281,7 +313,6 @@ def cmd_cc(args) -> int:
     from repro.algorithms.graphs import connected_components
 
     _note_trace_unsupported(args)
-    rng = np.random.default_rng(args.seed)
     G = nx.gnm_random_graph(args.n, args.edges, seed=args.seed)
     edges = (
         np.array(G.edges()) if G.number_of_edges() else np.zeros((0, 2), dtype=np.int64)
@@ -568,7 +599,15 @@ def main(argv: list[str] | None = None) -> int:
         return 2
     if getattr(args, "command", None) == "cc" and args.edges is None:
         args.edges = 2 * args.n
-    return fn(args)
+    try:
+        return fn(args)
+    except (SimulationError, ConfigurationError) as exc:
+        # configuration mistakes (bad fault plan, --resume without a
+        # snapshot, refused corrupt checkpoint) and simulation failures
+        # (exhausted retries, dead workers) exit non-zero with the
+        # message, not a traceback
+        print(f"error: {exc}", file=sys.stderr)
+        return 3
 
 
 if __name__ == "__main__":

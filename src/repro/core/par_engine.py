@@ -37,6 +37,7 @@ from repro.cgm.message import Message
 from repro.cgm.metrics import CostReport
 from repro.cgm.program import CGMProgram, Context
 from repro.core.layouts import MessageMatrix, RegionAllocator, consecutive_addresses
+from repro.faults.injector import FaultyDiskArray, collect_fault_stats, emit_fault_metrics
 from repro.pdm.block import pack_blocks, unpack_blocks
 from repro.pdm.disk_array import DiskArray
 from repro.pdm.io_stats import IOStats
@@ -71,6 +72,8 @@ class ParEMEngine(Engine):
     """p-processor external-memory backend (Algorithm 3)."""
 
     name = "par-em"
+    supports_checkpoint = True
+    supports_faults = True
 
     # ----------------------------------------------------------------- set-up
 
@@ -92,7 +95,7 @@ class ParEMEngine(Engine):
         # storage is keyed by real-processor id so a worker process can
         # instantiate only the reals it owns (see repro.core.workers)
         reals = list(self._storage_reals())
-        self.arrays = {r: DiskArray(cfg.D, cfg.B) for r in reals}
+        self.arrays = {r: self._make_array(r) for r in reals}
         self.memories = {r: InternalMemory(cfg.M, strict=False) for r in reals}
         self.matrices = {
             r: MessageMatrix(cfg.v, self.vpr, cfg.D, self.slot_blocks, base_track=0)
@@ -115,6 +118,16 @@ class ParEMEngine(Engine):
         self._ctx_blocks_io = 0
         self._msg_blocks_io = 0
         self._overflow_blocks = 0
+
+    def _make_array(self, real: int) -> DiskArray:
+        """The disk array of one real processor — fault-injected when a
+        plan is active, plain otherwise (the zero-overhead fast path)."""
+        cfg = self.cfg
+        if self.faults is None:
+            return DiskArray(cfg.D, cfg.B)
+        return FaultyDiskArray(
+            cfg.D, cfg.B, self.faults.injector_for(real), tracer=self.tracer, real=real
+        )
 
     # ------------------------------------------------------------- ownership
 
@@ -342,6 +355,100 @@ class ParEMEngine(Engine):
     def _pending_messages(self) -> bool:
         return any(self._ready_meta.values())
 
+    # ---------------------------------------------------------- checkpointing
+
+    @staticmethod
+    def _snapshot_array(arr: DiskArray) -> dict:
+        return {
+            "tracks": [dict(d._tracks) for d in arr.disks],
+            "reads": [d.blocks_read for d in arr.disks],
+            "writes": [d.blocks_written for d in arr.disks],
+            "stats": arr.stats.snapshot(),
+            "injector": arr.injector.state() if isinstance(arr, FaultyDiskArray) else None,
+        }
+
+    @staticmethod
+    def _restore_array(arr: DiskArray, snap: dict) -> None:
+        for disk, tracks, reads, writes in zip(
+            arr.disks, snap["tracks"], snap["reads"], snap["writes"]
+        ):
+            disk._tracks = dict(tracks)
+            disk.blocks_read = reads
+            disk.blocks_written = writes
+        arr.stats = snap["stats"].snapshot()
+        if snap["injector"] is not None:
+            # the checkpoint fingerprint pins the fault plan, so an
+            # injector-carrying snapshot always meets a FaultyDiskArray
+            arr.injector.restore(snap["injector"])  # type: ignore[attr-defined]
+
+    @staticmethod
+    def _meta_to_tuple(e: _MetaEntry) -> tuple:
+        return (e.src, e.nblocks, list(e.parts), e.overflow)
+
+    def _snapshot_backend(self) -> dict:
+        """Canonical between-round state, keyed by real id / pid.
+
+        The same shape is produced whether the reals live in one
+        interpreter or are merged from worker processes, which is what
+        makes snapshots portable across backends and worker counts.
+        """
+        return {
+            "arrays": {r: self._snapshot_array(a) for r, a in self.arrays.items()},
+            "memories": {r: (m.used, m.peak) for r, m in self.memories.items()},
+            "allocators": {
+                r: (a._cursor, list(a._free)) for r, a in self.allocators.items()
+            },
+            "ctx_region": dict(self._ctx_region),
+            "staged_meta": {
+                pid: [self._meta_to_tuple(e) for e in lst]
+                for pid, lst in self._staged_meta.items()
+                if lst
+            },
+            "ready_meta": {
+                pid: [self._meta_to_tuple(e) for e in lst]
+                for pid, lst in self._ready_meta.items()
+                if lst
+            },
+            "parities": (self._staged_parity, self._ready_parity),
+            "charged": dict(self._charged),
+            "ctx_io": self._ctx_blocks_io,
+            "msg_io": self._msg_blocks_io,
+            "ovf": self._overflow_blocks,
+        }
+
+    def _restore_backend(self, backend: dict) -> None:
+        for r, arr in self.arrays.items():
+            self._restore_array(arr, backend["arrays"][r])
+        for r, mem in self.memories.items():
+            mem.used, mem.peak = backend["memories"][r]
+        for r, alloc in self.allocators.items():
+            cursor, free = backend["allocators"][r]
+            alloc._cursor = cursor
+            alloc._free = list(free)
+        local = set(self._local_pids())
+        self._ctx_region = {
+            pid: region
+            for pid, region in backend["ctx_region"].items()
+            if pid in local
+        }
+        v = self.cfg.v
+        self._staged_meta = {pid: [] for pid in range(v)}
+        self._ready_meta = {pid: [] for pid in range(v)}
+        for name, store in (
+            ("staged_meta", self._staged_meta),
+            ("ready_meta", self._ready_meta),
+        ):
+            for pid, entries in backend[name].items():
+                if pid in local:
+                    store[pid] = [_MetaEntry(*t) for t in entries]
+        self._staged_parity, self._ready_parity = backend["parities"]
+        self._charged = {
+            pid: n for pid, n in backend["charged"].items() if pid in local
+        }
+        self._ctx_blocks_io = backend["ctx_io"]
+        self._msg_blocks_io = backend["msg_io"]
+        self._overflow_blocks = backend["ovf"]
+
     # ------------------------------------------------------------- accounting
 
     def _charge(self, pid: int, items: int) -> None:
@@ -408,6 +515,10 @@ class ParEMEngine(Engine):
             self._msg_blocks_io,
             self._overflow_blocks,
         )
+        fstats = collect_fault_stats(self.arrays.values())
+        if fstats is not None:
+            report.fault_stats = fstats
+            emit_fault_metrics(self.metrics, self.name, self.cfg, fstats)
 
 
 def emit_block_metrics(metrics, name, cfg, ctx_io, msg_io, ovf) -> None:

@@ -58,6 +58,7 @@ from repro.cgm.message import Message
 from repro.cgm.metrics import CostReport
 from repro.cgm.program import CGMProgram
 from repro.core.par_engine import ParEMEngine, emit_block_metrics
+from repro.faults.injector import FaultStats, collect_fault_stats, emit_fault_metrics
 from repro.obs.trace import JsonlRecorder, replay_events
 from repro.pdm.io_stats import IOStats
 from repro.util.rng import spawn_rngs
@@ -89,6 +90,21 @@ def _mp_context():
 
 class _Abort(SimulationError):
     """Raised inside a worker when the coordinator signalled shutdown."""
+
+
+class WorkerCrashed(SimulationError):
+    """A worker *process* died without reporting a result.
+
+    Distinct from a worker-reported exception (which stays a plain
+    :class:`SimulationError`): only process death is the transient,
+    checkpoint-recoverable condition the coordinator re-dispatches on.
+    """
+
+    def __init__(self, workers: list[int], kind: str) -> None:
+        super().__init__(
+            f"worker(s) {workers} died without reporting a result for {kind!r}"
+        )
+        self.workers = workers
 
 
 def _poll_get(q, abort, what: str):
@@ -246,6 +262,7 @@ def _worker_main(
     plan: list[list[int]],
     program: CGMProgram,
     max_message_items: int,
+    faults,
     cmd_q,
     result_q,
     net_qs,
@@ -254,13 +271,15 @@ def _worker_main(
     """Worker process entry point: a command loop driven by the coordinator.
 
     Commands: ``("setup", {pid: input})``, ``("round", r)``, ``("finish",)``,
-    ``("stop",)``.  Any exception is reported on the result queue as an
+    ``("snapshot",)``, ``("restore", backend, rng_states)``, ``("stop",)``.
+    Any exception is reported on the result queue as an
     ``("error", traceback)`` message.
     """
     try:
         tracer = JsonlRecorder() if trace_enabled else None
         eng = _WorkerEngine(cfg, balanced, worker_id, plan, tracer=tracer)
         eng._max_message_items = max_message_items
+        eng.faults = faults
         eng._start(program)
         net = _Network(worker_id, net_qs, abort)
         rngs = spawn_rngs(cfg.seed, cfg.v)
@@ -304,9 +323,24 @@ def _worker_main(
                     "ctx_io": eng._ctx_blocks_io,
                     "msg_io": eng._msg_blocks_io,
                     "ovf": eng._overflow_blocks,
+                    "fault_stats": collect_fault_stats(eng.arrays.values()),
                     "events": tracer.drain() if tracer else [],
                 }
                 result_q.put((worker_id, "final", payload))
+            elif op == "snapshot":
+                payload = {
+                    "backend": eng._snapshot_backend(),
+                    "rng": {
+                        pid: rngs[pid].bit_generator.state
+                        for pid in eng._local_pids()
+                    },
+                }
+                result_q.put((worker_id, "snapshot", payload))
+            elif op == "restore":
+                eng._restore_backend(cmd[1])
+                for pid, state in cmd[2].items():
+                    rngs[pid].bit_generator.state = state
+                result_q.put((worker_id, "restore", None))
             elif op == "stop":
                 return
             else:  # pragma: no cover - protocol bug
@@ -332,6 +366,8 @@ class ProcessParEngine(Engine):
     #: cost cross-checks and the bench store key off the engine name, and
     #: the worker backend models the same machine, so it keeps "par-em".
     name = "par-em"
+    supports_checkpoint = True
+    supports_faults = True
 
     def __init__(
         self,
@@ -347,6 +383,7 @@ class ProcessParEngine(Engine):
         self.n_workers = max(1, min(cfg.workers or cfg.p, cfg.p))
         self._procs: list = []
         self._pending = False
+        self._restarts = 0
 
     # ------------------------------------------------------------ lifecycle
 
@@ -370,6 +407,7 @@ class ProcessParEngine(Engine):
                     self._plan,
                     program,
                     self._max_message_items,
+                    self.faults,
                     self._cmd_qs[w],
                     self._result_q,
                     self._net_qs,
@@ -386,14 +424,20 @@ class ProcessParEngine(Engine):
         finally:
             self._shutdown()
 
-    def _shutdown(self) -> None:
+    def _shutdown(self, force: bool = False) -> None:
         if not self._procs:
             return
-        for q in self._cmd_qs:
-            try:
-                q.put(("stop",))
-            except Exception:  # pragma: no cover - queue torn down
-                pass
+        if force:
+            # crash recovery: peers may be blocked mid-exchange waiting on
+            # a dead worker's packet, so abort first instead of asking
+            # politely and eating the join timeout
+            self._abort.set()
+        else:
+            for q in self._cmd_qs:
+                try:
+                    q.put(("stop",))
+                except Exception:  # pragma: no cover - queue torn down
+                    pass
         for proc in self._procs:
             proc.join(timeout=5.0)
         for proc in self._procs:
@@ -427,10 +471,7 @@ class ProcessParEngine(Engine):
                     dead_cycles += 1
                     if dead_cycles >= _DEAD_GRACE:
                         self._abort.set()
-                        raise SimulationError(
-                            f"worker(s) {awaited_dead} died without reporting "
-                            f"a result for {kind!r}"
-                        )
+                        raise WorkerCrashed(awaited_dead, kind)
                 continue
             if k == "error":
                 self._abort.set()
@@ -452,6 +493,42 @@ class ProcessParEngine(Engine):
         self._gather("setup")
 
     def _execute_round(self, program: CGMProgram, r: int, rngs: list) -> RoundStep:
+        while True:
+            try:
+                return self._dispatch_round(r)
+            except WorkerCrashed as exc:
+                self._recover(program, r, exc)
+
+    def _recover(self, program: CGMProgram, r: int, exc: WorkerCrashed) -> None:
+        """Respawn the worker fleet and rewind it to the last checkpoint,
+        so the crashed round can be re-dispatched."""
+        cm = self.checkpoint
+        snap = self._last_ckpt
+        if cm is None or snap is None:
+            raise exc
+        if self._restarts >= cm.max_restarts:
+            raise SimulationError(
+                f"giving up after {self._restarts} worker restarts: {exc}"
+            ) from exc
+        if snap["round"] != r - 1:
+            raise SimulationError(
+                f"cannot re-dispatch round {r}: last checkpoint is for "
+                f"round {snap['round']}"
+            ) from exc
+        self._restarts += 1
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "worker_redispatch",
+                round=r,
+                dead_workers=exc.workers,
+                restart=self._restarts,
+                from_round=snap["round"],
+            )
+        self._shutdown(force=True)
+        self._start(program)
+        self._restore_state(snap, rngs=[])
+
+    def _dispatch_round(self, r: int) -> RoundStep:
         cfg = self.cfg
         self._broadcast(("round", r))
         results = self._gather("round")
@@ -486,6 +563,63 @@ class ProcessParEngine(Engine):
     def _round_boundary(self, r: int) -> None:
         pass
 
+    # ---------------------------------------------------------- checkpointing
+
+    def _snapshot_state(self, rngs: list) -> dict[str, Any]:
+        """Gather each worker's backend slice and RNG states and merge
+        them into the same canonical shape :class:`ParEMEngine` produces."""
+        self._broadcast(("snapshot",))
+        results = self._gather("snapshot")
+        backend: dict[str, Any] = {
+            "arrays": {},
+            "memories": {},
+            "allocators": {},
+            "ctx_region": {},
+            "staged_meta": {},
+            "ready_meta": {},
+            "parities": None,
+            "charged": {},
+            "ctx_io": 0,
+            "msg_io": 0,
+            "ovf": 0,
+        }
+        rng_states: list = [None] * self.cfg.v
+        for w in sorted(results):
+            part = results[w]["backend"]
+            for key in ("arrays", "memories", "allocators", "ctx_region",
+                        "staged_meta", "ready_meta", "charged"):
+                backend[key].update(part[key])
+            backend["parities"] = part["parities"]
+            backend["ctx_io"] += part["ctx_io"]
+            backend["msg_io"] += part["msg_io"]
+            backend["ovf"] += part["ovf"]
+            for pid, state in results[w]["rng"].items():
+                rng_states[pid] = state
+        return {"backend": backend, "rng_states": rng_states}
+
+    def _restore_state(self, snap: dict[str, Any], rngs: list) -> None:
+        """Scatter a merged snapshot back over the worker fleet.
+
+        Every worker receives the full backend dict and filters to its own
+        reals/pids; the ``ctx_io``/``msg_io``/``ovf`` totals cannot be
+        split per real, so worker 0 carries them and the rest start at
+        zero — the final sums stay exact under any worker count.
+        """
+        backend = snap["backend"]
+        vpr = self.cfg.vprocs_per_real
+        for w, q in enumerate(self._cmd_qs):
+            part = dict(backend)
+            if w != 0:
+                part["ctx_io"] = part["msg_io"] = part["ovf"] = 0
+            local_rng = {
+                pid: snap["rng_states"][pid]
+                for real in self._plan[w]
+                for pid in range(real * vpr, (real + 1) * vpr)
+            }
+            q.put(("restore", part, local_rng))
+        self._gather("restore")
+        self._pending = any(bool(v) for v in backend["ready_meta"].values())
+
     # ------------------------------------------------------------- wrap-up
 
     def _collect_outputs(self, program: CGMProgram) -> list[Any]:
@@ -518,3 +652,14 @@ class ProcessParEngine(Engine):
             ovf,
         )
         emit_block_metrics(self.metrics, self.name, self.cfg, ctx_io, msg_io, ovf)
+        fstats = None
+        for w in sorted(self._finals):
+            part = self._finals[w].get("fault_stats")
+            if part is None:
+                continue
+            if fstats is None:
+                fstats = FaultStats()
+            fstats.merge(part)
+        if fstats is not None:
+            report.fault_stats = fstats
+            emit_fault_metrics(self.metrics, self.name, self.cfg, fstats)

@@ -26,7 +26,6 @@ import numpy as np
 
 from repro.pdm.disk_array import DiskArray
 from repro.pdm.io_stats import IOStats
-from repro.util.items import ITEM_BYTES
 from repro.util.validation import ConfigurationError, require
 
 
@@ -124,8 +123,6 @@ class MergeSortBaseline:
                 group = runs[g : g + self.fan_in]
                 merged_file = _BlockFile(array, cursor)
                 total = sum(cnt for _, cnt in group)
-                out_buf: list[np.ndarray] = []
-                buffered = 0
 
                 def stream(run_file: _BlockFile, items: int):
                     """Yield items of a run, fetching D blocks per I/O."""

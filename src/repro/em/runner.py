@@ -30,6 +30,8 @@ from repro.cgm.metrics import CostReport
 from repro.cgm.program import CGMProgram
 from repro.core.par_engine import ParEMEngine, SeqEMEngine
 from repro.core.vm_engine import VMEngine
+from repro.faults.checkpoint import CheckpointManager
+from repro.faults.plan import FaultPlan
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import TraceRecorder
 from repro.util.validation import ConfigurationError
@@ -49,6 +51,9 @@ def make_engine(
     validate: bool = True,
     tracer: TraceRecorder | None = None,
     metrics: MetricsRegistry | None = None,
+    faults: FaultPlan | str | None = None,
+    checkpoint: CheckpointManager | str | None = None,
+    resume: bool = False,
 ) -> Engine:
     """Engine factory; ``None`` picks seq/par EM from ``cfg.p``.
 
@@ -56,6 +61,15 @@ def make_engine(
     when ``cfg.workers > 1`` (or the ``REPRO_WORKERS`` environment
     variable requests it and the config leaves ``workers`` unset) and
     there is more than one real processor to parallelize over.
+
+    Resilience knobs (EM backends only): *faults* is a
+    :class:`~repro.faults.plan.FaultPlan` (or a path to its JSON form)
+    injected into every disk array; *checkpoint* a
+    :class:`~repro.faults.checkpoint.CheckpointManager` (or directory)
+    that snapshots the run at every round boundary; *resume* restores the
+    newest snapshot instead of running setup.  When no explicit plan is
+    given, the ``REPRO_FAULTS`` environment variable applies one to every
+    fault-capable engine (the CI whole-suite injection lane).
     """
     if engine is None:
         engine = "seq" if cfg.p == 1 else "par"
@@ -65,19 +79,38 @@ def make_engine(
         raise ConfigurationError(
             f"unknown engine {engine!r}; choose from {sorted(_ENGINES)}"
         ) from None
+    eng: Engine | None = None
     if engine == "par" and cfg.p > 1:
         workers = cfg.workers or int(os.environ.get("REPRO_WORKERS") or 0)
         if workers > 1:
             from repro.core.workers import ProcessParEngine
 
-            return ProcessParEngine(
+            eng = ProcessParEngine(
                 cfg.with_(workers=workers),
                 balanced=balanced,
                 validate=validate,
                 tracer=tracer,
                 metrics=metrics,
             )
-    return cls(cfg, balanced=balanced, validate=validate, tracer=tracer, metrics=metrics)
+    if eng is None:
+        eng = cls(
+            cfg, balanced=balanced, validate=validate, tracer=tracer, metrics=metrics
+        )
+    if isinstance(faults, str):
+        faults = FaultPlan.from_json(faults)
+    if faults is None and eng.supports_faults:
+        env_plan = os.environ.get("REPRO_FAULTS")
+        if env_plan:
+            faults = FaultPlan.from_json(env_plan)
+    eng.faults = faults
+    if checkpoint is not None:
+        eng.checkpoint = (
+            checkpoint
+            if isinstance(checkpoint, CheckpointManager)
+            else CheckpointManager(checkpoint)
+        )
+    eng.resume = bool(resume)
+    return eng
 
 
 @dataclass
@@ -105,11 +138,15 @@ def em_run(
     validate: bool = True,
     tracer: TraceRecorder | None = None,
     metrics: MetricsRegistry | None = None,
+    faults: FaultPlan | str | None = None,
+    checkpoint: CheckpointManager | str | None = None,
+    resume: bool = False,
 ) -> RunResult:
     """Run any CGM program on the selected backend."""
-    return make_engine(cfg, engine, balanced, validate, tracer, metrics).run(
-        program, inputs
-    )
+    return make_engine(
+        cfg, engine, balanced, validate, tracer, metrics,
+        faults=faults, checkpoint=checkpoint, resume=resume,
+    ).run(program, inputs)
 
 
 def em_sort(
@@ -119,12 +156,16 @@ def em_sort(
     balanced: bool = False,
     tracer: TraceRecorder | None = None,
     metrics: MetricsRegistry | None = None,
+    faults: FaultPlan | str | None = None,
+    checkpoint: CheckpointManager | str | None = None,
+    resume: bool = False,
 ) -> EMResult:
     """Sort *data* with the simulated CGM sample sort (O(N/(pDB)) I/Os)."""
     data = np.asarray(data)
     res = em_run(
         SampleSort(), partition_array(data, cfg.v), cfg, engine, balanced,
         tracer=tracer, metrics=metrics,
+        faults=faults, checkpoint=checkpoint, resume=resume,
     )
     return EMResult(np.concatenate(res.outputs), res)
 
@@ -137,6 +178,9 @@ def em_permute(
     balanced: bool = False,
     tracer: TraceRecorder | None = None,
     metrics: MetricsRegistry | None = None,
+    faults: FaultPlan | str | None = None,
+    checkpoint: CheckpointManager | str | None = None,
+    resume: bool = False,
 ) -> EMResult:
     """Permute int64 *values*: output[destinations[i]] = values[i].
 
@@ -151,7 +195,8 @@ def em_permute(
         zip(partition_array(values, cfg.v), partition_array(destinations, cfg.v))
     )
     res = em_run(
-        CGMPermute(), inputs, cfg, engine, balanced, tracer=tracer, metrics=metrics
+        CGMPermute(), inputs, cfg, engine, balanced, tracer=tracer, metrics=metrics,
+        faults=faults, checkpoint=checkpoint, resume=resume,
     )
     return EMResult(np.concatenate(res.outputs), res)
 
@@ -163,6 +208,9 @@ def em_transpose(
     balanced: bool = False,
     tracer: TraceRecorder | None = None,
     metrics: MetricsRegistry | None = None,
+    faults: FaultPlan | str | None = None,
+    checkpoint: CheckpointManager | str | None = None,
+    resume: bool = False,
 ) -> EMResult:
     """Transpose a k x ell int64 matrix (O(N/(pDB)) I/Os)."""
     matrix = np.asarray(matrix)
@@ -176,7 +224,8 @@ def em_transpose(
         inputs.append((band, row0, k, ell))
         row0 += band.shape[0]
     res = em_run(
-        CGMTranspose(), inputs, cfg, engine, balanced, tracer=tracer, metrics=metrics
+        CGMTranspose(), inputs, cfg, engine, balanced, tracer=tracer, metrics=metrics,
+        faults=faults, checkpoint=checkpoint, resume=resume,
     )
     out = np.vstack([o for o in res.outputs if o.size]) if any(o.size for o in res.outputs) else np.zeros((ell, k), dtype=np.int64)
     return EMResult(out, res)

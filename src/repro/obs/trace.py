@@ -16,6 +16,11 @@ kind               tags
 ``message_read``   pid, real, blocks, layout, sources
 ``network_transfer`` src, dest, src_real, dest_real, items
 ``run_end``        engine, rounds, supersteps, parallel_ios
+``io_fault``       real, disk, track, op, fault, attempt
+``disk_dead``      real, disk, op, migrated_blocks, survivors
+``checkpoint``     round, finished, path
+``resume``         round, finished, path
+``worker_redispatch`` round, dead_workers, restart, from_round
 ================== ======================================================
 
 ``layout`` is the disk format the blocks moved through: ``"consecutive"``
@@ -23,6 +28,13 @@ kind               tags
 or ``"paged"`` (the VM baseline's 4 KB pager).  Events recorded inside a
 worker process of the multi-core backend are replayed on the coordinator's
 recorder with an extra ``worker`` tag (see :func:`replay_events`).
+
+The last five kinds come from the resilience subsystem
+(:mod:`repro.faults`): ``io_fault`` marks one injected single-track
+failure (``fault`` is the injected kind, ``attempt`` the retry ordinal),
+``disk_dead`` a permanent disk loss and its block migration,
+``checkpoint``/``resume`` the round-boundary snapshot protocol, and
+``worker_redispatch`` a coordinator recovery after a worker process died.
 
 Engines guard every emission on :attr:`TraceRecorder.enabled`, so a run
 with the :data:`NULL_RECORDER` never builds an event dict — the disabled

@@ -56,16 +56,7 @@ class DiskArray:
         """
         if not ops:
             return []
-        touched: set[int] = set()
-        for op in ops:
-            if not (0 <= op.disk < self.D):
-                raise SimulationError(f"disk index {op.disk} out of range 0..{self.D - 1}")
-            if op.disk in touched:
-                raise SimulationError(
-                    f"parallel I/O touches disk {op.disk} twice — the PDM "
-                    "allows at most one track per disk per operation"
-                )
-            touched.add(op.disk)
+        touched = self._check_batch(ops)
 
         out: list[bytes] = []
         n_read = n_written = 0
@@ -78,6 +69,20 @@ class DiskArray:
                 n_read += 1
         self.stats.record(n_read, n_written, sorted(touched), self.D)
         return out
+
+    def _check_batch(self, ops: list[IOOp]) -> set[int]:
+        """Enforce the one-track-per-disk rule; returns the disks touched."""
+        touched: set[int] = set()
+        for op in ops:
+            if not (0 <= op.disk < self.D):
+                raise SimulationError(f"disk index {op.disk} out of range 0..{self.D - 1}")
+            if op.disk in touched:
+                raise SimulationError(
+                    f"parallel I/O touches disk {op.disk} twice — the PDM "
+                    "allows at most one track per disk per operation"
+                )
+            touched.add(op.disk)
+        return touched
 
     # -- bulk helpers (each issues ceil(n/D) parallel I/Os) -----------------
 

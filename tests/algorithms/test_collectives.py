@@ -105,7 +105,9 @@ class TestAllToAllBalanced:
     @given(v=st.sampled_from([2, 4, 8]))
     def test_balanced_equals_direct(self, v):
         cfg = MachineConfig(N=1 << 12, v=v, D=2, B=32)
-        payload = lambda pid, dest: np.arange(pid * 31 + dest * 7 + 1)
+        def payload(pid, dest):
+            return np.arange(pid * 31 + dest * 7 + 1)
+
         direct = make_engine(cfg, "seq").run(AllToAll(payload), [None] * v)
         bal = make_engine(cfg, "seq", balanced=True).run(AllToAll(payload), [None] * v)
         for a, b in zip(direct.outputs, bal.outputs):

@@ -10,7 +10,7 @@ from repro.bsp.conversion import (
     to_bsp_star,
     to_em_bsp,
 )
-from repro.bsp.model import BSPCost, BSPStarCost, EMBSPCost, Superstep
+from repro.bsp.model import BSPCost, BSPStarCost, Superstep
 from repro.util.validation import ConfigurationError, ConstraintViolation
 
 

@@ -8,7 +8,7 @@ import pytest
 
 from repro.cgm.config import MachineConfig
 from repro.cgm.engine import InMemoryEngine
-from repro.cgm.program import CGMProgram, Context, FunctionalProgram, RoundEnv
+from repro.cgm.program import CGMProgram, FunctionalProgram
 from repro.em.runner import make_engine
 from repro.util.validation import ConfigurationError, SimulationError
 

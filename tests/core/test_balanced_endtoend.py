@@ -16,7 +16,7 @@ from scipy.spatial import Delaunay
 
 from repro.algorithms.collectives import partition_array
 from repro.cgm.config import MachineConfig
-from repro.em.runner import em_run, em_sort, make_engine
+from repro.em.runner import em_run, em_sort
 
 
 class TestBalancedGroupA:

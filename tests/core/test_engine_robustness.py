@@ -7,7 +7,7 @@ import numpy as np
 import pytest
 
 from repro.cgm.config import MachineConfig
-from repro.cgm.program import CGMProgram, Context, FunctionalProgram, RoundEnv
+from repro.cgm.program import CGMProgram, FunctionalProgram
 from repro.em.runner import make_engine
 
 

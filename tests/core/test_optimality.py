@@ -6,7 +6,6 @@ import pytest
 
 from repro.cgm.metrics import CostReport
 from repro.core.optimality import (
-    OptimalityAssessment,
     assess,
     sequential_linear_time,
     sequential_sort_time,

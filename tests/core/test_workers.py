@@ -128,9 +128,17 @@ class TestTraces:
         t_seq, t_par = JsonlRecorder(), JsonlRecorder()
         em_sort(data, cfg, engine="par", tracer=t_seq)
         em_sort(data, cfg.with_(workers=4), engine="par", tracer=t_par)
-        assert t_seq.counts() == t_par.counts()
+        a, b = t_seq.counts(), t_par.counts()
+        # physical fault events (the REPRO_FAULTS injection lane) are not
+        # part of the logical schedule: allocation order inside a shared
+        # message region differs across backends, so the per-attempt fault
+        # draws — unlike every logical counter — may diverge slightly
+        for c in (a, b):
+            c.pop("io_fault", None)
+        assert a == b
         worker_side = {"compute_round", "context_read", "context_write",
-                       "message_read", "message_write", "network_transfer"}
+                       "message_read", "message_write", "network_transfer",
+                       "io_fault", "disk_dead"}
         for ev in t_par.events:
             assert ("worker" in ev) == (ev["kind"] in worker_side), ev
         workers_seen = {ev["worker"] for ev in t_par.events if "worker" in ev}

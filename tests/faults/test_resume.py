@@ -1,0 +1,266 @@
+"""Checkpoint/resume end-to-end: a killed run resumes bit-identically on
+both the in-process and the multi-process backends, workers are respawned
+after crashes, and mismatched resumes are refused."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.algorithms.collectives import partition_array
+from repro.algorithms.sorting import SampleSort
+from repro.cgm.config import MachineConfig
+from repro.em.runner import em_run
+from repro.faults.checkpoint import CheckpointError
+from repro.faults.plan import FaultPlan, RetryPolicy
+from repro.obs.trace import JsonlRecorder
+from repro.util.validation import ConfigurationError, SimulationError
+
+V, D, B = 8, 2, 64
+N = 1 << 13
+KILL_ROUND = 2
+
+
+def make_data() -> np.ndarray:
+    return np.random.default_rng(5).integers(0, 1 << 30, N, dtype=np.int64)
+
+
+def run_sort(cfg, program=None, **kw):
+    return em_run(
+        program or SampleSort(), partition_array(make_data(), cfg.v), cfg, "par", **kw
+    )
+
+
+def counters(report) -> dict:
+    return {
+        "io": report.io.as_dict(),
+        "io_max": report.io_max.as_dict(),
+        "rounds": report.rounds,
+        "supersteps": report.supersteps,
+        "comm": report.comm_items,
+        "cross": report.cross_items,
+        "ctx_io": report.context_blocks_io,
+        "msg_io": report.message_blocks_io,
+        "ovf": report.overflow_blocks,
+        "peak": report.peak_memory_items,
+    }
+
+
+def stripped(events, kinds=("superstep_end", "run_end")) -> list[dict]:
+    return [
+        {k: v for k, v in ev.items() if k not in ("seq", "ts")}
+        for ev in events
+        if ev["kind"] in kinds
+    ]
+
+
+class KillableSort(SampleSort):
+    """Sample sort that crashes once at a given round.
+
+    The crash is *external* (a raised exception consuming a one-shot flag
+    file), not a scheduled fault: a fatal fault in the plan would replay
+    deterministically on resume, which is exactly what must not happen
+    when testing recovery from a kill.
+    """
+
+    def __init__(self, kill_round: int, flag_path: str) -> None:
+        super().__init__()
+        self.kill_round = kill_round
+        self.flag_path = flag_path
+
+    def round(self, r, ctx, env):
+        if r == self.kill_round and os.path.exists(self.flag_path):
+            os.unlink(self.flag_path)
+            raise KeyboardInterrupt("simulated kill")
+        return super().round(r, ctx, env)
+
+
+class CrashySort(SampleSort):
+    """Sample sort whose hosting process dies hard at a given round, as
+    long as the countdown file is positive (then it runs clean)."""
+
+    def __init__(self, crash_round: int, counter_path: str) -> None:
+        super().__init__()
+        self.crash_round = crash_round
+        self.counter_path = counter_path
+
+    def round(self, r, ctx, env):
+        # pid 0 only, so exactly one worker dies per dispatch of the round
+        if r == self.crash_round and env.pid == 0:
+            with open(self.counter_path) as fh:
+                n = int(fh.read())
+            if n > 0:
+                with open(self.counter_path, "w") as fh:
+                    fh.write(str(n - 1))
+                os._exit(13)
+        return super().round(r, ctx, env)
+
+
+def kill_and_resume(cfg, tmp_path, **kw):
+    """Kill a checkpointed run at KILL_ROUND, then resume it to completion."""
+    ck = str(tmp_path / "ck")
+    flag = str(tmp_path / "kill.flag")
+    open(flag, "w").write("1")
+    with pytest.raises((KeyboardInterrupt, SimulationError)):
+        run_sort(
+            cfg, program=KillableSort(KILL_ROUND, flag), checkpoint=ck, **kw
+        )
+    assert not os.path.exists(flag), "the kill never fired"
+    tracer = JsonlRecorder()
+    res = run_sort(cfg, checkpoint=ck, resume=True, tracer=tracer, **kw)
+    return res, tracer
+
+
+class TestResumeInProcess:
+    CFG = MachineConfig(N=N, v=V, p=2, D=D, B=B)
+
+    def test_bit_identical_after_kill(self, tmp_path):
+        clean_tr = JsonlRecorder()
+        clean = run_sort(self.CFG, tracer=clean_tr)
+        resumed, tr = kill_and_resume(self.CFG, tmp_path)
+
+        for a, b in zip(clean.outputs, resumed.outputs):
+            assert np.array_equal(a, b)
+        assert counters(clean.report) == counters(resumed.report)
+        # the trace tail (everything from the kill round on) matches the
+        # uninterrupted run event for event
+        tail = [
+            ev for ev in stripped(clean_tr.events)
+            if ev["kind"] == "run_end" or ev["round"] >= KILL_ROUND
+        ]
+        assert stripped(tr.events) == tail
+        assert tr.counts().get("resume") == 1
+
+    def test_finished_checkpoint_short_circuits(self, tmp_path):
+        ck = str(tmp_path / "ck")
+        first = run_sort(self.CFG, checkpoint=ck)
+        again = run_sort(self.CFG, checkpoint=ck, resume=True)
+        for a, b in zip(first.outputs, again.outputs):
+            assert np.array_equal(a, b)
+        assert counters(first.report) == counters(again.report)
+
+    def test_resume_under_fault_plan(self, tmp_path):
+        plan = FaultPlan(
+            seed=13, p_transient_read=0.02, p_transient_write=0.02,
+            retry=RetryPolicy(max_retries=6),
+        )
+        clean = run_sort(self.CFG, faults=plan)
+        assert clean.report.fault_stats is not None
+        assert clean.report.fault_stats.retries > 0
+        resumed, _ = kill_and_resume(self.CFG, tmp_path, faults=plan)
+        for a, b in zip(clean.outputs, resumed.outputs):
+            assert np.array_equal(a, b)
+        assert counters(clean.report) == counters(resumed.report)
+        assert (
+            resumed.report.fault_stats.as_dict() == clean.report.fault_stats.as_dict()
+        )
+
+    def test_sorted_output_is_correct(self, tmp_path):
+        resumed, _ = kill_and_resume(self.CFG, tmp_path)
+        out = np.concatenate(resumed.outputs)
+        assert np.array_equal(out, np.sort(make_data()))
+
+
+class TestResumeWorkers:
+    CFG = MachineConfig(N=N, v=V, p=4, D=D, B=B, workers=2)
+
+    @pytest.mark.slow
+    def test_bit_identical_after_kill(self, tmp_path):
+        clean = run_sort(self.CFG)
+        resumed, tr = kill_and_resume(self.CFG, tmp_path)
+        for a, b in zip(clean.outputs, resumed.outputs):
+            assert np.array_equal(a, b)
+        assert counters(clean.report) == counters(resumed.report)
+        assert tr.counts().get("resume") == 1
+
+    @pytest.mark.slow
+    def test_cross_backend_resume(self, tmp_path):
+        """A checkpoint written in-process resumes under the workers
+        backend: the fingerprint deliberately excludes the worker count."""
+        inproc = self.CFG.with_(workers=0)
+        clean = run_sort(inproc)
+        ck = str(tmp_path / "ck")
+        flag = str(tmp_path / "kill.flag")
+        open(flag, "w").write("1")
+        with pytest.raises((KeyboardInterrupt, SimulationError)):
+            run_sort(inproc, program=KillableSort(KILL_ROUND, flag), checkpoint=ck)
+        resumed = run_sort(self.CFG, checkpoint=ck, resume=True)
+        for a, b in zip(clean.outputs, resumed.outputs):
+            assert np.array_equal(a, b)
+        assert counters(clean.report) == counters(resumed.report)
+
+    @pytest.mark.slow
+    def test_worker_crash_redispatch(self, tmp_path):
+        """A worker process dying hard mid-round is respawned from the last
+        checkpoint and the round is re-dispatched — the run self-heals."""
+        counter = str(tmp_path / "crashes")
+        open(counter, "w").write("2")
+        tracer = JsonlRecorder()
+        healed = run_sort(
+            self.CFG,
+            program=CrashySort(KILL_ROUND, counter),
+            checkpoint=str(tmp_path / "ck"),
+            tracer=tracer,
+        )
+        assert open(counter).read() == "0"
+        assert tracer.counts().get("worker_redispatch") == 2
+        clean = run_sort(self.CFG)
+        for a, b in zip(clean.outputs, healed.outputs):
+            assert np.array_equal(a, b)
+        assert counters(clean.report) == counters(healed.report)
+
+    @pytest.mark.slow
+    def test_crash_without_checkpoint_is_fatal(self, tmp_path):
+        counter = str(tmp_path / "crashes")
+        open(counter, "w").write("1")
+        with pytest.raises(SimulationError, match="died without reporting"):
+            run_sort(self.CFG, program=CrashySort(KILL_ROUND, counter))
+
+
+class TestRefusals:
+    CFG = MachineConfig(N=N, v=V, p=2, D=D, B=B)
+
+    def test_resume_without_checkpoint_dir(self):
+        with pytest.raises(ConfigurationError, match="resume"):
+            run_sort(self.CFG, resume=True)
+
+    def test_resume_from_empty_dir(self, tmp_path):
+        with pytest.raises(CheckpointError, match="no checkpoint found"):
+            run_sort(self.CFG, checkpoint=str(tmp_path / "empty"), resume=True)
+
+    def test_resume_under_different_machine_is_refused(self, tmp_path):
+        _, _ = kill_and_resume(self.CFG, tmp_path)  # leaves checkpoints behind
+        other = MachineConfig(N=N, v=V, p=2, D=D, B=B // 2)
+        with pytest.raises(CheckpointError, match="different run"):
+            run_sort(other, checkpoint=str(tmp_path / "ck"), resume=True)
+
+    def test_resume_under_different_fault_plan_is_refused(self, tmp_path):
+        _, _ = kill_and_resume(self.CFG, tmp_path)
+        plan = FaultPlan(seed=99, p_transient_read=0.5)
+        with pytest.raises(CheckpointError, match="different run"):
+            run_sort(
+                self.CFG, checkpoint=str(tmp_path / "ck"), resume=True, faults=plan
+            )
+
+    def test_memory_engine_refuses_faults(self):
+        with pytest.raises(ConfigurationError, match="fault"):
+            em_run(
+                SampleSort(),
+                partition_array(make_data(), V),
+                self.CFG,
+                "memory",
+                faults=FaultPlan(p_transient_read=0.1),
+            )
+
+    def test_vm_engine_refuses_checkpoint(self, tmp_path):
+        cfg = MachineConfig(N=N, v=V, p=1, D=D, B=B)
+        with pytest.raises(ConfigurationError, match="checkpoint"):
+            em_run(
+                SampleSort(),
+                partition_array(make_data(), V),
+                cfg,
+                "vm",
+                checkpoint=str(tmp_path / "ck"),
+            )

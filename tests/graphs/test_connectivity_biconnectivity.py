@@ -98,7 +98,7 @@ class TestLowHigh:
         G.add_edge(1, 3)
         edges = np.array(G.edges())
         res = low_high(edges, 4, MachineConfig(N=4, v=2, B=8), engine="memory")
-        pre = None  # low/high are in preorder space; sanity: low <= high
+        # low/high are in preorder space; sanity: low <= high
         assert (res.values["low"] <= res.values["high"]).all()
         # the root's subtree reaches everything
         assert res.values["low"][0] == 0

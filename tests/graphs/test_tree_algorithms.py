@@ -12,7 +12,6 @@ from networkx.algorithms.lowest_common_ancestors import (
 from repro.algorithms.graphs import (
     euler_tour_positions,
     expression_eval,
-    list_rank,
     lowest_common_ancestors,
     range_min_queries,
     scatter_reduce,
@@ -129,15 +128,15 @@ class TestScatterReduceAndRMQ:
         vals = np.array([5, 3, 8, 3, 9, 1, 7], dtype=np.int64)
         queries = []
         qid = 0
-        for l in range(7):
-            for r in range(l, 7):
-                queries.append((qid, l, r))
+        for lo in range(7):
+            for hi in range(lo, 7):
+                queries.append((qid, lo, hi))
                 qid += 1
         cfg = MachineConfig(N=7, v=7, B=8)
         res = range_min_queries(vals, np.array(queries), cfg, engine="memory")
         for q, mv, _pay in res.values:
-            _, l, r = queries[q]
-            assert mv == vals[l : r + 1].min()
+            _, lo, hi = queries[q]
+            assert mv == vals[lo : hi + 1].min()
 
     def test_rmq_payload_argmin_leftmost(self, rng):
         vals = np.array([2, 1, 1, 4], dtype=np.int64)
@@ -156,15 +155,15 @@ class TestScatterReduceAndRMQ:
         vals = rng.integers(0, 10_000, n)
         qs = []
         for qid in range(120):
-            l = int(rng.integers(0, n))
-            r = int(rng.integers(l, n))
-            qs.append((qid, l, r))
+            lo = int(rng.integers(0, n))
+            hi = int(rng.integers(lo, n))
+            qs.append((qid, lo, hi))
         res = range_min_queries(
             vals, np.array(qs), MachineConfig(N=n, v=8, B=16), engine=engine
         )
         for q, mv, _ in res.values:
-            _, l, r = qs[q]
-            assert mv == vals[l : r + 1].min()
+            _, lo, hi = qs[q]
+            assert mv == vals[lo : hi + 1].min()
 
 
 class TestLCA:

@@ -14,7 +14,7 @@ import numpy as np
 import pytest
 
 from repro.cgm.config import MachineConfig
-from repro.em.runner import em_run, em_sort
+from repro.em.runner import em_sort
 from repro.obs.costcheck import (
     DEFAULT_ENVELOPE,
     crosscheck_report,

@@ -6,7 +6,6 @@ import io
 import json
 
 import numpy as np
-import pytest
 
 from repro.cgm.config import MachineConfig
 from repro.em.runner import em_run, em_sort

@@ -3,7 +3,6 @@ FIFO batching, counters, and data integrity."""
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.pdm.block import pack_blocks, unpack_blocks

@@ -220,3 +220,76 @@ class TestBenchCommand:
 
     def test_unknown_suite_exits_2(self, capsys):
         assert main(["bench", "no_such_suite"]) == 2
+
+
+class TestResilienceFlags:
+    """--faults / --checkpoint / --resume, and their error exits (rc 3)."""
+
+    BASE = ["sort", "--n", "4096", "--v", "4", "--b", "64"]
+
+    def _plan(self, tmp_path) -> str:
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps({
+            "seed": 7, "p_transient_read": 0.05, "p_transient_write": 0.05,
+            "retry": {"max_retries": 6},
+        }))
+        return str(path)
+
+    def test_faulted_run_reports_and_completes(self, tmp_path, capsys):
+        assert main(self.BASE + ["--faults", self._plan(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "sorted 4096 items: OK" in out
+        assert "injected faults" in out and "retries" in out
+
+    def test_fault_metrics_exported(self, tmp_path):
+        prom = tmp_path / "m.prom"
+        args = self.BASE + ["--faults", self._plan(tmp_path), "--metrics", str(prom)]
+        assert main(args) == 0
+        text = prom.read_text()
+        assert "repro_io_retries_total" in text
+        assert "repro_io_faults_total" in text
+
+    def test_checkpoint_then_resume(self, tmp_path, capsys):
+        ck = str(tmp_path / "ck")
+        assert main(self.BASE + ["--checkpoint", ck]) == 0
+        first = capsys.readouterr().out
+        import os
+
+        assert any(n.startswith("ckpt_") for n in os.listdir(ck))
+        assert main(self.BASE + ["--checkpoint", ck, "--resume"]) == 0
+        resumed = capsys.readouterr().out
+        assert "parallel I/Os" in resumed
+        # identical machine line and cost lines — the resumed report is the
+        # checkpointed one
+        assert [ln for ln in first.splitlines() if "I/Os" in ln] == [
+            ln for ln in resumed.splitlines() if "I/Os" in ln
+        ]
+
+    def test_missing_plan_file_exits_3(self, tmp_path, capsys):
+        rc = main(self.BASE + ["--faults", str(tmp_path / "nope.json")])
+        assert rc == 3
+        assert "error:" in capsys.readouterr().err
+
+    def test_resume_without_checkpoint_exits_3(self, capsys):
+        assert main(self.BASE + ["--resume"]) == 3
+        assert "error:" in capsys.readouterr().err
+
+    def test_resume_from_empty_dir_exits_3(self, tmp_path, capsys):
+        rc = main(self.BASE + ["--checkpoint", str(tmp_path / "ck"), "--resume"])
+        assert rc == 3
+        assert "no checkpoint found" in capsys.readouterr().err
+
+    def test_resume_from_corrupt_checkpoint_exits_3(self, tmp_path, capsys):
+        ck = tmp_path / "ck"
+        assert main(self.BASE + ["--checkpoint", str(ck)]) == 0
+        capsys.readouterr()
+        newest = sorted(ck.glob("ckpt_*.bin"))[-1]
+        blob = newest.read_bytes()
+        newest.write_bytes(blob[: len(blob) // 2])  # truncate mid-payload
+        assert main(self.BASE + ["--checkpoint", str(ck), "--resume"]) == 3
+        assert "truncated" in capsys.readouterr().err
+
+    def test_unsupported_engine_exits_3(self, tmp_path, capsys):
+        args = self.BASE + ["--engine", "memory", "--faults", self._plan(tmp_path)]
+        assert main(args) == 3
+        assert "error:" in capsys.readouterr().err

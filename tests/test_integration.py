@@ -17,8 +17,6 @@ import repro.algorithms.geometry as geo
 from repro.algorithms.graphs import (
     biconnected_components,
     connected_components,
-    list_rank,
-    lowest_common_ancestors,
 )
 from repro.bsp.conversion import to_em_bsp
 from repro.bsp.model import BSPCost, Superstep
