@@ -445,6 +445,7 @@ def cmd_bench(args) -> int:
                 new,
                 io_rtol=args.io_rtol,
                 time_rtol=None if args.ignore_timings else args.time_rtol,
+                timing_floor=args.timing_floor,
             )
         except (OSError, ValueError) as exc:
             print(f"error: {exc}", file=sys.stderr)
@@ -582,6 +583,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--ignore-timings",
         action="store_true",
         help="skip timing comparisons (cross-machine gating)",
+    )
+    p.add_argument(
+        "--timing-floor",
+        type=float,
+        default=None,
+        metavar="RTOL",
+        help="one-sided timing gate for higher-is-better metrics (speedup "
+        "ratios): fail only when new < old*(1-RTOL); improvements always pass",
     )
     p.set_defaults(fn=cmd_bench)
 

@@ -87,16 +87,27 @@ def split_phase_a(outbox: list[Message], v: int) -> list[Message]:
         words, nbytes = _payload_to_words(m.payload)
         total = int(words.size)
         i, j = m.src, m.dest
+        # All v strided slices words[first::v] in one pass: pad to a
+        # multiple of v, then column `first` of the (k, v) view is exactly
+        # that slice.  One contiguous transpose copy replaces v strided
+        # copies; values are bit-identical to the slice-per-bin loop.
+        if total:
+            k = -(-total // v)
+            padded = np.empty(k * v, dtype=np.uint64)
+            padded[:total] = words
+            padded[total:] = 0
+            cols = np.ascontiguousarray(padded.reshape(k, v).T)
         for b in range(v):
             # words l with (i + j + l) % v == b  <=>  l % v == (b - i - j) % v
             first = (b - i - j) % v
-            piece = words[first::v]
-            if piece.size == 0 and total > 0:
+            n_piece = (total - first + v - 1) // v if total > first else 0
+            if n_piece == 0 and total > 0:
                 continue
+            piece = cols[first, :n_piece] if total else words[first::v].copy()
             bins[b].append(
                 Chunk(
                     i, j, seq, first, v, total, nbytes, m.tag,
-                    m.size_items, piece.copy(),
+                    m.size_items, piece,
                 )
             )
     out: list[Message] = []
@@ -188,17 +199,18 @@ def phase_a_bin_sizes(msg_lengths: np.ndarray, src: int) -> np.ndarray:
     against.
     """
     v = len(msg_lengths)
-    sizes = np.zeros(v, dtype=np.int64)
-    for j, length in enumerate(msg_lengths):
-        q, rem = divmod(int(length), v)
-        sizes += q
-        if rem:
-            # the first `rem` bins in dealing order get one extra word:
-            # bins (src + j + 0..rem-1) mod v
-            start = (src + j) % v
-            extra = (np.arange(rem) + start) % v
-            np.add.at(sizes, extra, 1)
-    return sizes
+    lengths = np.asarray(msg_lengths, dtype=np.int64)
+    rem = lengths % v
+    # every bin gets floor(length_j / v) words from message j; the first
+    # rem_j bins in dealing order — (src + j + 0..rem_j-1) mod v — get one
+    # extra.  Bin b's dealing-order offset for message j is
+    # (b - src - j) mod v, so the extra lands iff that offset < rem_j.
+    offsets = (
+        np.arange(v, dtype=np.int64)[None, :]
+        - src
+        - np.arange(v, dtype=np.int64)[:, None]
+    ) % v
+    return (lengths // v).sum() + (offsets < rem[:, None]).sum(axis=0)
 
 
 def balanced_message_bounds(h: int, v: int) -> tuple[float, float]:

@@ -31,15 +31,24 @@ counters back into an identical :class:`CostReport`.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.cgm.config import MachineConfig
 from repro.cgm.engine import Engine
 from repro.cgm.message import Message
 from repro.cgm.metrics import CostReport
 from repro.cgm.program import CGMProgram, Context
-from repro.core.layouts import MessageMatrix, RegionAllocator, consecutive_addresses
+from repro.core.layouts import (
+    MessageMatrix,
+    RegionAllocator,
+    consecutive_addresses,
+    consecutive_addresses_np,
+)
 from repro.faults.injector import FaultyDiskArray, collect_fault_stats, emit_fault_metrics
-from repro.pdm.block import pack_blocks, unpack_blocks
+from repro.pdm import fastpath
+from repro.pdm.block import blocks_for_bytes, pack_blocks, unpack_blocks
 from repro.pdm.disk_array import DiskArray
+from repro.pdm.fastpath import BlockRun, BufferPool
 from repro.pdm.io_stats import IOStats
 from repro.pdm.memory import InternalMemory
 from repro.util.items import ITEM_BYTES, deserialize, serialize
@@ -91,6 +100,13 @@ class ParEMEngine(Engine):
             envelope += (cfg.v + 4) * 160
         max_msg_bytes = slot_items * ITEM_BYTES + envelope
         self.slot_blocks = max(1, -(-max_msg_bytes // (cfg.B * ITEM_BYTES)))
+
+        # the vectorized fast path services whole runs as single NumPy
+        # gather/scatters; fault plans need per-op injection, so they pin
+        # the reference path (REPRO_FASTPATH=0 selects it explicitly)
+        self._fastpath = fastpath.enabled() and self.faults is None
+        self._block_bytes = cfg.B * ITEM_BYTES
+        self._iopool = BufferPool()
 
         # storage is keyed by real-processor id so a worker process can
         # instantiate only the reals it owns (see repro.core.workers)
@@ -146,8 +162,13 @@ class ParEMEngine(Engine):
     def _store_context(self, pid: int, ctx: Context) -> None:
         owner = self._owner(pid)
         array, alloc = self.arrays[owner], self.allocators[owner]
-        blocks = pack_blocks(serialize(dict(ctx)), self.cfg.B)
-        nblocks = len(blocks)
+        if self._fastpath:
+            raw = serialize(dict(ctx))
+            blocks = None
+            nblocks = blocks_for_bytes(len(raw), self.cfg.B)
+        else:
+            blocks = pack_blocks(serialize(dict(ctx)), self.cfg.B)
+            nblocks = len(blocks)
         region = self._ctx_region.get(pid)
         if region is None or region[1] * self.cfg.D < nblocks:
             if region is not None:
@@ -161,8 +182,14 @@ class ParEMEngine(Engine):
         else:
             region = (region[0], region[1], nblocks)
         self._ctx_region[pid] = region
-        addrs = consecutive_addresses(nblocks, self.cfg.D, region[0])
-        array.write_blocks(list(zip((a for a, _ in addrs), (t for _, t in addrs), blocks)))
+        if blocks is None:
+            dd, tt = consecutive_addresses_np(nblocks, self.cfg.D, region[0])
+            array.write_run(dd, tt, BlockRun(raw, nblocks, self._block_bytes))
+        else:
+            addrs = consecutive_addresses(nblocks, self.cfg.D, region[0])
+            array.write_blocks(
+                list(zip((a for a, _ in addrs), (t for _, t in addrs), blocks))
+            )
         self._ctx_blocks_io += nblocks
         self._charge(pid, nblocks * self.cfg.B)
         if self.tracer.enabled:
@@ -178,8 +205,13 @@ class ParEMEngine(Engine):
         owner = self._owner(pid)
         array = self.arrays[owner]
         start, _rows, nblocks = self._ctx_region[pid]
-        addrs = consecutive_addresses(nblocks, self.cfg.D, start)
-        blocks = array.read_blocks(addrs)
+        if self._fastpath:
+            dd, tt = consecutive_addresses_np(nblocks, self.cfg.D, start)
+            buf = self._iopool.take(nblocks * self._block_bytes)
+            flat = array.read_run(dd, tt, out=buf)
+        else:
+            addrs = consecutive_addresses(nblocks, self.cfg.D, start)
+            blocks = array.read_blocks(addrs)
         self._ctx_blocks_io += nblocks
         self._charge(pid, nblocks * self.cfg.B)
         if self.tracer.enabled:
@@ -190,25 +222,33 @@ class ParEMEngine(Engine):
                 blocks=nblocks,
                 layout="consecutive",
             )
+        if self._fastpath:
+            # deserialize copies out of the buffer on both encodings, so
+            # the pooled staging area can be reused immediately
+            ctx = Context(deserialize(flat))
+            self._iopool.give(buf)
+            return ctx
         return Context(deserialize(unpack_blocks(blocks)))
 
     # ------------------------------------------------------------- messages
 
     def _bundle_outbox(
         self, src_pid: int, msgs: list[Message]
-    ) -> list[tuple[int, list, list[bytes]]]:
+    ) -> list[tuple[int, list, "list[bytes] | BlockRun"]]:
         """Coalesce an outbox into one serialized bundle per destination.
 
         One physical slot message per destination (the paper's msg_ij):
         several application messages to one destination share the slot.
-        Returns ``(dest, parts, blocks)`` triples in FIFO destination
-        order; the serialization buffers are charged to the *source*
-        real processor's internal memory.
+        Returns ``(dest, parts, payload)`` triples in FIFO destination
+        order — the payload a block list on the reference path, a
+        zero-copy :class:`BlockRun` over the serialized bytes on the fast
+        path.  Serialization buffers are charged to the *source* real
+        processor's internal memory.
         """
         by_dest: dict[int, list[Message]] = {}
         for m in msgs:
             by_dest.setdefault(m.dest, []).append(m)
-        bundles: list[tuple[int, list, list[bytes]]] = []
+        bundles: list[tuple[int, list, "list[bytes] | BlockRun"]] = []
         for dest in sorted(by_dest):
             group = by_dest[dest]
             if len(group) == 1:
@@ -216,10 +256,21 @@ class ParEMEngine(Engine):
             else:
                 payload_obj = [(m.tag, m.payload) for m in group]
             parts = [(m.tag, m.size_items) for m in group]
-            blocks = pack_blocks(serialize(payload_obj), self.cfg.B)
-            self._charge(src_pid, len(blocks) * self.cfg.B)
-            bundles.append((dest, parts, blocks))
+            payload: "list[bytes] | BlockRun"
+            if self._fastpath:
+                raw = serialize(payload_obj)
+                nblocks = blocks_for_bytes(len(raw), self.cfg.B)
+                payload = BlockRun(raw, nblocks, self._block_bytes)
+            else:
+                payload = pack_blocks(serialize(payload_obj), self.cfg.B)
+                nblocks = len(payload)
+            self._charge(src_pid, nblocks * self.cfg.B)
+            bundles.append((dest, parts, payload))
         return bundles
+
+    @staticmethod
+    def _bundle_nblocks(payload: "list[bytes] | BlockRun") -> int:
+        return payload.nblocks if isinstance(payload, BlockRun) else len(payload)
 
     def _stage_bundles(
         self, src_pid: int, bundles: list[tuple[int, list, list[bytes]]]
@@ -234,23 +285,46 @@ class ParEMEngine(Engine):
         ``parallel_ios``) identical in both modes.
         """
         cfg = self.cfg
-        by_owner: dict[int, list[tuple[int, int, bytes]]] = {}
-        for dest, parts, blocks in bundles:
-            nblocks = len(blocks)
+        by_owner: dict[int, list] = {}
+        for dest, parts, payload in bundles:
+            nblocks = self._bundle_nblocks(payload)
             owner = self._owner(dest)
-            if nblocks <= self.slot_blocks:
-                addrs = self.matrices[owner].message_addresses(
-                    src_pid, self._local(dest), nblocks, self._staged_parity
-                )
-                overflow = None
+            if self._fastpath:
+                if nblocks <= self.slot_blocks:
+                    dd, tt = self.matrices[owner].message_addresses_np(
+                        src_pid, self._local(dest), nblocks, self._staged_parity
+                    )
+                    overflow = None
+                else:
+                    start, _rows = self.allocators[owner].alloc(nblocks)
+                    dd, tt = consecutive_addresses_np(nblocks, cfg.D, start)
+                    overflow = list(zip(dd.tolist(), tt.tolist()))
+                    self._overflow_blocks += nblocks
+                if not isinstance(payload, BlockRun):
+                    # a reference-mode peer shipped packed blocks; rewrap
+                    payload = BlockRun(
+                        b"".join(payload), nblocks, self._block_bytes
+                    )
+                by_owner.setdefault(owner, []).append((dd, tt, payload))
             else:
-                start, _rows = self.allocators[owner].alloc(nblocks)
-                addrs = consecutive_addresses(nblocks, cfg.D, start)
-                overflow = addrs
-                self._overflow_blocks += nblocks
-            by_owner.setdefault(owner, []).extend(
-                (d, t, blk) for (d, t), blk in zip(addrs, blocks)
-            )
+                blocks = (
+                    payload.to_blocks()
+                    if isinstance(payload, BlockRun)
+                    else payload
+                )
+                if nblocks <= self.slot_blocks:
+                    addrs = self.matrices[owner].message_addresses(
+                        src_pid, self._local(dest), nblocks, self._staged_parity
+                    )
+                    overflow = None
+                else:
+                    start, _rows = self.allocators[owner].alloc(nblocks)
+                    addrs = consecutive_addresses(nblocks, cfg.D, start)
+                    overflow = addrs
+                    self._overflow_blocks += nblocks
+                by_owner.setdefault(owner, []).extend(
+                    (d, t, blk) for (d, t), blk in zip(addrs, blocks)
+                )
             self._staged_meta[dest].append(
                 _MetaEntry(src_pid, nblocks, parts, overflow)
             )
@@ -269,9 +343,18 @@ class ParEMEngine(Engine):
 
     def _put_messages(self, src_pid: int, msgs: list[Message]) -> None:
         by_owner = self._stage_bundles(src_pid, self._bundle_outbox(src_pid, msgs))
-        for owner, placements in by_owner.items():
-            self.arrays[owner].write_blocks(placements)
+        self._write_staged(by_owner)
         self._release(src_pid)
+
+    def _write_staged(self, by_owner: dict[int, list]) -> None:
+        """Commit one source's staged placements, one FIFO stream per
+        owning real processor (batching spans bundle boundaries, exactly
+        as the reference path's concatenated placement list does)."""
+        for owner, batch in by_owner.items():
+            if self._fastpath:
+                self.arrays[owner].write_stream(batch)
+            else:
+                self.arrays[owner].write_blocks(batch)
 
     def _take_inbox(self, pid: int) -> list[Message]:
         cfg = self.cfg
@@ -284,19 +367,28 @@ class ParEMEngine(Engine):
 
         entries.sort(key=lambda e: e.src)
         slot_entries = [e for e in entries if e.overflow is None]
-        addrs = self.matrices[owner].inbox_addresses(
-            self._local(pid),
-            [(e.src, e.nblocks) for e in slot_entries],
-            self._ready_parity,
-        )
-        blocks = array.read_blocks(addrs)
-        self._msg_blocks_io += len(blocks)
-        if self.tracer.enabled and blocks:
+        by_src = [(e.src, e.nblocks) for e in slot_entries]
+        buf = None
+        if self._fastpath:
+            dd, tt = self.matrices[owner].inbox_addresses_np(
+                self._local(pid), by_src, self._ready_parity
+            )
+            total = int(dd.size)
+            buf = self._iopool.take(total * self._block_bytes)
+            flat = array.read_run(dd, tt, out=buf)
+        else:
+            addrs = self.matrices[owner].inbox_addresses(
+                self._local(pid), by_src, self._ready_parity
+            )
+            blocks = array.read_blocks(addrs)
+            total = len(blocks)
+        self._msg_blocks_io += total
+        if self.tracer.enabled and total:
             self.tracer.emit(
                 "message_read",
                 pid=pid,
                 real=owner,
-                blocks=len(blocks),
+                blocks=total,
                 layout="staggered",
                 sources=len(slot_entries),
                 parity=self._ready_parity,
@@ -313,11 +405,21 @@ class ParEMEngine(Engine):
                     msgs.append(Message(e.src, pid, payload, tag, size))
 
         cursor = 0
+        bb = self._block_bytes
         for e in slot_entries:
-            chunk = blocks[cursor : cursor + e.nblocks]
+            if self._fastpath:
+                payload_obj = deserialize(
+                    flat[cursor * bb : (cursor + e.nblocks) * bb]
+                )
+            else:
+                payload_obj = deserialize(
+                    unpack_blocks(blocks[cursor : cursor + e.nblocks])
+                )
             cursor += e.nblocks
-            unbundle(e, deserialize(unpack_blocks(chunk)))
+            unbundle(e, payload_obj)
             self._charge(pid, e.nblocks * cfg.B)
+        if buf is not None:
+            self._iopool.give(buf)
         alloc = self.allocators[owner]
         for e in entries:
             if e.overflow is None:
@@ -359,8 +461,11 @@ class ParEMEngine(Engine):
 
     @staticmethod
     def _snapshot_array(arr: DiskArray) -> dict:
+        # snapshot_tracks yields the same dict[int, bytes] shape from both
+        # the dict-backed and arena-backed stores, so checkpoints stay
+        # portable across REPRO_FASTPATH settings
         return {
-            "tracks": [dict(d._tracks) for d in arr.disks],
+            "tracks": [d.snapshot_tracks() for d in arr.disks],
             "reads": [d.blocks_read for d in arr.disks],
             "writes": [d.blocks_written for d in arr.disks],
             "stats": arr.stats.snapshot(),
@@ -372,7 +477,7 @@ class ParEMEngine(Engine):
         for disk, tracks, reads, writes in zip(
             arr.disks, snap["tracks"], snap["reads"], snap["writes"]
         ):
-            disk._tracks = dict(tracks)
+            disk.restore_tracks(tracks)
             disk.blocks_read = reads
             disk.blocks_written = writes
         arr.stats = snap["stats"].snapshot()

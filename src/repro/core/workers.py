@@ -50,6 +50,7 @@ from __future__ import annotations
 import multiprocessing as mp
 import queue
 import traceback
+from multiprocessing import resource_tracker, shared_memory
 from typing import Any
 
 from repro.cgm.config import MachineConfig
@@ -60,6 +61,8 @@ from repro.cgm.program import CGMProgram
 from repro.core.par_engine import ParEMEngine, emit_block_metrics
 from repro.faults.injector import FaultStats, collect_fault_stats, emit_fault_metrics
 from repro.obs.trace import JsonlRecorder, replay_events
+from repro.pdm import fastpath
+from repro.pdm.fastpath import BlockRun
 from repro.pdm.io_stats import IOStats
 from repro.util.rng import spawn_rngs
 from repro.util.validation import SimulationError
@@ -118,40 +121,145 @@ def _poll_get(q, abort, what: str):
             continue
 
 
+#: payload placeholder in a shared-memory packet: the receiver rebuilds a
+#: BlockRun view over the mapped segment from these coordinates.
+_SHM_REF = "__shmrun__"
+
+
+def _untrack_shm(shm) -> None:
+    """Detach a *sender's* segment from the resource tracker.
+
+    Ownership is explicit in the exchange protocol: the receiver unlinks
+    after staging, and ``SharedMemory.unlink`` itself unregisters, which
+    balances the registration made when the receiver attached.  Only the
+    sender's create-side registration is left dangling — untracking it
+    here keeps the tracker from warning (or double-unlinking) at exit.
+    The receiver must NOT untrack, or ``unlink`` would unregister a name
+    the tracker no longer holds and spray KeyError tracebacks on stderr.
+    """
+    try:
+        resource_tracker.unregister(getattr(shm, "_name", shm.name), "shared_memory")
+    except Exception:  # pragma: no cover - tracker internals vary
+        pass
+
+
 class _Network:
     """One worker's view of the simulated network (peer-to-peer queues).
 
     Packets are tagged ``(round, phase, src_worker)``; a packet from a
     peer that has already raced ahead into a later phase is buffered, so
     the exchange of one phase can never consume another phase's traffic.
+
+    Bulk transport: when the fast path is on and a packet's ``BlockRun``
+    payloads total at least :func:`repro.pdm.fastpath.shm_threshold`
+    bytes, the payload bytes travel through one
+    ``multiprocessing.shared_memory`` segment per packet and the queue
+    carries only the metadata — the receiver's scatter copies straight
+    from the mapping into its track arena, so bulk bytes cross the
+    process boundary exactly once and are never pickled.  Smaller packets
+    (and all control traffic) stay on the queue, which also remains the
+    fallback when the reference path is selected.  A packet buffered for
+    a later phase keeps its wire form; its segment is only mapped when
+    that phase consumes it.  :meth:`release` closes and unlinks consumed
+    segments after staging.
     """
 
     def __init__(self, worker_id: int, inboxes, abort) -> None:
         self.worker_id = worker_id
         self.inboxes = inboxes
         self.abort = abort
-        self._buffer: dict[tuple[int, int], dict[int, list]] = {}
+        self._buffer: dict[tuple[int, int], dict[int, tuple]] = {}
+        self.shm_threshold = fastpath.shm_threshold()
+        self._consumed: list = []
+
+    def _encode(self, items: list) -> tuple:
+        """Wire form of one packet: ``("inl", items)`` or
+        ``("shm", segment_name, items_with_refs)``."""
+        threshold = self.shm_threshold
+        if threshold is None:
+            return ("inl", items)
+        total = sum(
+            bundle[2].nbytes
+            for _src, bundle in items
+            if isinstance(bundle[2], BlockRun)
+        )
+        if total < threshold:
+            return ("inl", items)
+        shm = shared_memory.SharedMemory(create=True, size=total)
+        try:
+            view = shm.buf
+            off = 0
+            wire_items = []
+            for src_pid, (dest, parts, payload) in items:
+                if isinstance(payload, BlockRun):
+                    n = payload.nbytes
+                    view[off : off + n] = memoryview(payload.buf).cast("B")
+                    payload = (
+                        _SHM_REF, off, n, payload.nblocks, payload.block_bytes
+                    )
+                    off += n
+                wire_items.append((src_pid, (dest, parts, payload)))
+            return ("shm", shm.name, wire_items)
+        finally:
+            # the receiver owns the segment's lifetime from here on
+            _untrack_shm(shm)
+            shm.close()
+
+    def _decode(self, wire: tuple) -> list:
+        kind = wire[0]
+        if kind == "inl":
+            return wire[1]
+        _, name, wire_items = wire
+        shm = shared_memory.SharedMemory(name=name)
+        self._consumed.append(shm)
+        view = memoryview(shm.buf)
+        items = []
+        for src_pid, (dest, parts, payload) in wire_items:
+            if isinstance(payload, tuple) and payload and payload[0] == _SHM_REF:
+                _tag, off, n, nblocks, block_bytes = payload
+                payload = BlockRun(view[off : off + n], nblocks, block_bytes)
+            items.append((src_pid, (dest, parts, payload)))
+        return items
+
+    def release(self) -> None:
+        """Unlink segments whose payloads have been staged on disk.
+
+        Callers must have dropped every ``BlockRun`` view first (staging
+        copies the bytes into the arena); a still-exported mapping is
+        retried on the next call rather than erroring the round.
+        """
+        keep = []
+        for shm in self._consumed:
+            try:
+                shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - double unlink
+                pass
+            try:
+                shm.close()
+            except BufferError:  # pragma: no cover - view still alive
+                keep.append(shm)
+        self._consumed = keep
 
     def exchange(self, outgoing: dict[int, list], r: int, phase: int) -> list:
         """Send one packet to every peer, receive one from each; returns
         the concatenated remote items."""
         for w in sorted(outgoing):
-            self.inboxes[w].put((r, phase, self.worker_id, outgoing[w]))
+            self.inboxes[w].put((r, phase, self.worker_id, self._encode(outgoing[w])))
         expected = set(outgoing)
         got = self._buffer.pop((r, phase), {})
         while expected - set(got):
-            rr, pp, src, items = _poll_get(
+            rr, pp, src, wire = _poll_get(
                 self.inboxes[self.worker_id],
                 self.abort,
                 f"round {r} phase {phase} packets",
             )
             if (rr, pp) == (r, phase):
-                got[src] = items
+                got[src] = wire
             else:
-                self._buffer.setdefault((rr, pp), {})[src] = items
+                self._buffer.setdefault((rr, pp), {})[src] = wire
         merged: list = []
         for src in sorted(got):
-            merged.extend(got[src])
+            merged.extend(self._decode(got[src]))
         return merged
 
 
@@ -200,9 +308,7 @@ class _WorkerEngine(ParEMEngine):
                 local.append(bundle)
             else:
                 self._outgoing[w].append((src_pid, bundle))
-        by_owner = self._stage_bundles(src_pid, local)
-        for owner, placements in by_owner.items():
-            self.arrays[owner].write_blocks(placements)
+        self._write_staged(self._stage_bundles(src_pid, local))
         self._release(src_pid)
 
     def _apply_remote(self, items: list) -> None:
@@ -216,14 +322,15 @@ class _WorkerEngine(ParEMEngine):
         for src_pid, bundle in items:
             by_src.setdefault(src_pid, []).append(bundle)
         for src_pid in sorted(by_src):
-            by_owner = self._stage_bundles(src_pid, by_src[src_pid])
-            for owner, placements in by_owner.items():
-                self.arrays[owner].write_blocks(placements)
+            self._write_staged(self._stage_bundles(src_pid, by_src[src_pid]))
 
     def _exchange_phase(self, net: _Network, r: int, phase: int) -> None:
         outgoing = self._outgoing
         self._outgoing = None
         self._apply_remote(net.exchange(outgoing, r, phase))
+        # staging copied every shared-memory payload into the arena; the
+        # segments backing this phase's packets can go away now
+        net.release()
 
     def _begin_phase(self) -> None:
         self._outgoing = {

@@ -228,6 +228,12 @@ class FaultyDiskArray(DiskArray):
         self.tracer = tracer
         self.real = real
 
+    def _use_fastpath_storage(self) -> bool:
+        # fault injection resolves, retries and tears every track access
+        # individually, and remaps shadow tracks far outside any dense
+        # arena range — it always runs the per-op reference path
+        return False
+
     # -- core operation ------------------------------------------------------
 
     def parallel_io(self, ops: list[IOOp]) -> list[bytes]:

@@ -9,22 +9,29 @@ to ``D*B`` items at cost ``G``.
 The substrate is a faithful simulator, not a performance shim: the disks
 store real bytes, reads genuinely reconstruct what was written, and the
 :class:`IOStats` counters are the PDM cost measure the paper's theorems are
-stated in.
+stated in.  Two interchangeable executions exist — a per-op reference path
+and a vectorized arena-backed fast path (:mod:`repro.pdm.fastpath`) — with
+bit-identical counters, traces and stored bytes.
 """
 
-from repro.pdm.block import pack_blocks, unpack_blocks
+from repro.pdm.block import blocks_for_bytes, pack_blocks, unpack_blocks
 from repro.pdm.disk import Disk
-from repro.pdm.disk_array import DiskArray, IOOp
+from repro.pdm.disk_array import DiskArray, IOOp, greedy_batch_widths
+from repro.pdm.fastpath import BlockRun, BufferPool
 from repro.pdm.io_stats import DiskServiceModel, IOStats
 from repro.pdm.memory import InternalMemory
 from repro.pdm.vm import LRUPager
 
 __all__ = [
+    "blocks_for_bytes",
     "pack_blocks",
     "unpack_blocks",
     "Disk",
     "DiskArray",
     "IOOp",
+    "greedy_batch_widths",
+    "BlockRun",
+    "BufferPool",
     "DiskServiceModel",
     "IOStats",
     "InternalMemory",

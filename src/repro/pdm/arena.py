@@ -1,0 +1,185 @@
+"""Preallocated per-disk track storage for the fast path.
+
+The reference :class:`~repro.pdm.disk.Disk` stores tracks in a
+``dict[int, bytes]`` — flexible, but every write allocates a ``bytes`` and
+every read hands back a Python object.  The arena replaces the dict with
+one 2-D ``uint8`` array per disk (rows = tracks, row stride = the block
+size in bytes) plus an occupancy mask and a per-track byte length, so a
+whole parallel-I/O stream scatters or gathers with a handful of NumPy
+fancy-indexing operations.
+
+Invariants that keep the arena interchangeable with the dict:
+
+* a track is either *occupied* (mask set, ``nbytes`` valid) or free —
+  reading a free track is the same ``SimulationError`` as the dict path;
+* rows are zero-padded past ``nbytes``, mirroring ``pack_blocks``;
+* writes that do not fit the row stride (odd-sized standalone-``Disk``
+  writes) or land on far-away tracks (the fault injector's shadow region
+  at ``1 << 40``) fall back to a per-disk side dict, so the arena never
+  needs to allocate rows for a sparse track space.
+
+``snapshot``/``restore`` produce and accept the reference representation
+(``dict[int, bytes]``), which keeps engine checkpoints portable between
+``REPRO_FASTPATH`` settings.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Tracks at or beyond this index live in the side dict: growing the arena
+#: to reach them would allocate rows for the whole gap.
+MAX_DIRECT_TRACK = 1 << 20
+
+_INITIAL_ROWS = 64
+
+
+class TrackArena:
+    """Dense track storage for the ``D`` disks of one array."""
+
+    __slots__ = ("D", "block_bytes", "_data", "_used", "_nbytes", "_side")
+
+    def __init__(self, D: int, block_bytes: int) -> None:
+        self.D = D
+        self.block_bytes = block_bytes
+        self._data: list[np.ndarray] = [
+            np.zeros((0, block_bytes), dtype=np.uint8) for _ in range(D)
+        ]
+        self._used: list[np.ndarray] = [np.zeros(0, dtype=bool) for _ in range(D)]
+        self._nbytes: list[np.ndarray] = [np.zeros(0, dtype=np.int64) for _ in range(D)]
+        self._side: list[dict[int, bytes]] = [{} for _ in range(D)]
+
+    # -- growth ------------------------------------------------------------
+
+    def _ensure_rows(self, disk: int, rows: int) -> None:
+        have = self._data[disk].shape[0]
+        if rows <= have:
+            return
+        cap = max(_INITIAL_ROWS, have)
+        while cap < rows:
+            cap *= 2
+        data = np.zeros((cap, self.block_bytes), dtype=np.uint8)
+        data[:have] = self._data[disk]
+        used = np.zeros(cap, dtype=bool)
+        used[:have] = self._used[disk]
+        nbytes = np.zeros(cap, dtype=np.int64)
+        nbytes[:have] = self._nbytes[disk]
+        self._data[disk] = data
+        self._used[disk] = used
+        self._nbytes[disk] = nbytes
+
+    # -- single-track operations (Disk delegates here) ---------------------
+
+    def put(self, disk: int, track: int, payload: bytes) -> None:
+        """Store one track (the dict-compatible slow entry point)."""
+        if track >= MAX_DIRECT_TRACK or len(payload) > self.block_bytes:
+            self._free_row(disk, track)
+            self._side[disk][track] = payload
+            return
+        self._side[disk].pop(track, None)
+        self._ensure_rows(disk, track + 1)
+        row = self._data[disk][track]
+        n = len(payload)
+        row[:n] = np.frombuffer(payload, dtype=np.uint8)
+        row[n:] = 0
+        self._used[disk][track] = True
+        self._nbytes[disk][track] = n
+
+    def get(self, disk: int, track: int) -> bytes | None:
+        """Fetch one track as ``bytes``, or ``None`` when unwritten."""
+        side = self._side[disk]
+        if side:
+            hit = side.get(track)
+            if hit is not None:
+                return hit
+        if track < 0 or track >= self._used[disk].shape[0]:
+            return None
+        if not self._used[disk][track]:
+            return None
+        n = int(self._nbytes[disk][track])
+        return self._data[disk][track, :n].tobytes()
+
+    def _free_row(self, disk: int, track: int) -> None:
+        if 0 <= track < self._used[disk].shape[0]:
+            self._used[disk][track] = False
+            self._nbytes[disk][track] = 0
+
+    def free(self, disk: int, track: int) -> None:
+        self._side[disk].pop(track, None)
+        self._free_row(disk, track)
+
+    # -- bulk operations (DiskArray fast path) -----------------------------
+
+    def scatter(self, disks: np.ndarray, tracks: np.ndarray, rows: np.ndarray) -> None:
+        """Store ``rows[i]`` (full block stride each) at ``(disks[i], tracks[i])``.
+
+        Duplicate addresses within one call resolve last-wins, matching the
+        sequential reference loop.  Rows must already carry their padding;
+        every stored track is marked full-stride.
+        """
+        bb = self.block_bytes
+        for d in range(self.D):
+            idx = np.flatnonzero(disks == d)
+            if idx.size == 0:
+                continue
+            tt = tracks[idx]
+            self._ensure_rows(d, int(tt.max()) + 1)
+            self._data[d][tt] = rows[idx]
+            self._used[d][tt] = True
+            self._nbytes[d][tt] = bb
+            side = self._side[d]
+            if side:
+                for t in tt.tolist():
+                    side.pop(t, None)
+
+    def gather(self, disks: np.ndarray, tracks: np.ndarray, out: np.ndarray) -> bool:
+        """Fill ``out[i]`` with the block at ``(disks[i], tracks[i])``.
+
+        Returns ``False`` (without touching *out*) when any requested track
+        lives in a side dict or is shorter than the full stride — callers
+        fall back to the per-track reference loop, which handles those and
+        raises the canonical unwritten-track error.  Returns ``True`` on a
+        completed dense gather.
+        """
+        bb = self.block_bytes
+        for d in range(self.D):
+            idx = np.flatnonzero(disks == d)
+            if idx.size == 0:
+                continue
+            if self._side[d]:
+                return False
+            tt = tracks[idx]
+            used = self._used[d]
+            if int(tt.max()) >= used.shape[0] or not used[tt].all():
+                return False
+            if not (self._nbytes[d][tt] == bb).all():
+                return False
+            out[idx] = self._data[d][tt]
+        return True
+
+    # -- inspection / checkpointing ----------------------------------------
+
+    def tracks_in_use(self, disk: int) -> int:
+        return int(self._used[disk].sum()) + len(self._side[disk])
+
+    def max_track(self, disk: int) -> int:
+        used = np.flatnonzero(self._used[disk])
+        dense = int(used[-1]) if used.size else -1
+        side = max(self._side[disk], default=-1)
+        return max(dense, side)
+
+    def snapshot(self, disk: int) -> dict[int, bytes]:
+        """The reference ``dict[int, bytes]`` view of one disk's tracks."""
+        out: dict[int, bytes] = {}
+        for t in np.flatnonzero(self._used[disk]).tolist():
+            n = int(self._nbytes[disk][t])
+            out[t] = self._data[disk][t, :n].tobytes()
+        out.update(self._side[disk])
+        return out
+
+    def restore(self, disk: int, tracks: dict[int, bytes]) -> None:
+        self._used[disk][:] = False
+        self._nbytes[disk][:] = 0
+        self._side[disk].clear()
+        for t, payload in tracks.items():
+            self.put(disk, t, payload)

@@ -26,6 +26,20 @@ def pack_blocks(data: bytes, B: int) -> list[bytes]:
     return [padded[i * bb : (i + 1) * bb] for i in range(nblocks)]
 
 
+def blocks_for_bytes(nbytes: int, B: int) -> int:
+    """Number of ``B``-item blocks :func:`pack_blocks` would produce.
+
+    The fast path sizes runs from this without materializing the block
+    list, so byte lengths — and therefore every I/O counter derived from
+    them — match the reference path exactly.
+    """
+    if B <= 0:
+        raise ValueError(f"block size must be positive, got B={B}")
+    if nbytes <= 0:
+        return 0
+    return -(-nbytes // (B * ITEM_BYTES))
+
+
 def unpack_blocks(blocks: list[bytes]) -> bytes:
     """Concatenate blocks back into one byte string (padding included)."""
     return b"".join(blocks)

@@ -1,0 +1,160 @@
+"""Runtime switch and zero-copy containers for the vectorized fast path.
+
+The simulator has two executions of the *same* logical machine:
+
+* the **reference path** — per-:class:`~repro.pdm.disk_array.IOOp` Python
+  loops over dict-backed tracks, kept as the executable specification and
+  selected with ``REPRO_FASTPATH=0``;
+* the **fast path** — whole parallel-I/O streams serviced as single NumPy
+  gather/scatter operations over a preallocated per-disk track arena
+  (:mod:`repro.pdm.arena`).
+
+Both must produce bit-identical outputs, ``IOStats`` and traces; the
+differential suite in ``tests/core/test_fastpath_differential.py`` pins
+this.  This module holds the pieces shared by both sides of the split:
+
+* :func:`enabled` / :func:`set_enabled` — the ``REPRO_FASTPATH`` switch
+  (default on).  ``set_enabled`` writes the environment variable too, so
+  worker processes spawned after the call agree with the parent.
+* :class:`BlockRun` — a run of fixed-size blocks backed by one buffer,
+  the zero-copy replacement for a ``list[bytes]`` of packed blocks.
+* :class:`BufferPool` — bounded reuse of gather/scatter staging buffers,
+  killing the per-track allocations of the reference path.
+* :func:`shm_threshold` — payload size above which the workers backend
+  ships bundles via ``multiprocessing.shared_memory`` instead of pickle.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+_FALSE = frozenset({"0", "false", "no", "off"})
+
+#: Default payload size (bytes) above which worker packets travel through
+#: shared memory.  Small packets stay on the Queue: one pickle of a few KB
+#: is cheaper than creating and mapping a segment.
+DEFAULT_SHM_THRESHOLD = 1 << 16
+
+
+def enabled() -> bool:
+    """True when the vectorized fast path is selected (``REPRO_FASTPATH``).
+
+    Unset or any truthy spelling means *on*; ``0``/``false``/``no``/``off``
+    select the reference path.  Read dynamically so tests can flip the
+    environment per-run.
+    """
+    return os.environ.get("REPRO_FASTPATH", "1").strip().lower() not in _FALSE
+
+
+def set_enabled(flag: bool) -> None:
+    """Select the fast (True) or reference (False) path process-wide.
+
+    Writes ``REPRO_FASTPATH`` so child processes started afterwards (the
+    workers backend) inherit the same selection.
+    """
+    os.environ["REPRO_FASTPATH"] = "1" if flag else "0"
+
+
+def shm_threshold() -> int | None:
+    """Payload bytes above which worker packets use shared memory.
+
+    ``None`` disables the shared-memory transport entirely: when the fast
+    path is off (payloads are ``list[bytes]``, the reference wire format)
+    or ``REPRO_SHM_BYTES`` is unparsable / non-positive.
+    """
+    if not enabled():
+        return None
+    raw = os.environ.get("REPRO_SHM_BYTES", "").strip()
+    if not raw:
+        return DEFAULT_SHM_THRESHOLD
+    try:
+        val = int(raw)
+    except ValueError:
+        return DEFAULT_SHM_THRESHOLD
+    return val if val > 0 else None
+
+
+class BlockRun:
+    """``nblocks`` fixed-size blocks backed by a single buffer.
+
+    The buffer may be up to one block shorter than ``nblocks *
+    block_bytes``; the missing tail is implicit zero padding, exactly as
+    :func:`repro.pdm.block.pack_blocks` pads the last block.  Keeping the
+    padding implicit is what makes the container zero-copy: a serialized
+    payload is wrapped as-is, and the scatter into the arena pads only the
+    final track in place.
+    """
+
+    __slots__ = ("buf", "nblocks", "block_bytes")
+
+    def __init__(
+        self, buf: bytes | bytearray | memoryview | np.ndarray, nblocks: int, block_bytes: int
+    ) -> None:
+        nbytes = len(buf) if not isinstance(buf, np.ndarray) else int(buf.nbytes)
+        if nbytes > nblocks * block_bytes:
+            raise ValueError(
+                f"buffer of {nbytes} bytes does not fit {nblocks} blocks "
+                f"of {block_bytes} bytes"
+            )
+        self.buf = buf
+        self.nblocks = nblocks
+        self.block_bytes = block_bytes
+
+    @property
+    def nbytes(self) -> int:
+        buf = self.buf
+        return int(buf.nbytes) if isinstance(buf, np.ndarray) else len(buf)
+
+    def to_blocks(self) -> list[bytes]:
+        """Materialize the reference representation (copies; fallback only)."""
+        bb = self.block_bytes
+        data = bytes(self.buf).ljust(self.nblocks * bb, b"\x00")
+        return [data[i * bb : (i + 1) * bb] for i in range(self.nblocks)]
+
+    def __reduce__(self) -> tuple:
+        # Pickling (Queue fallback in the workers backend) materializes the
+        # buffer; shared-memory transport avoids this entirely.
+        return (BlockRun, (bytes(self.buf), self.nblocks, self.block_bytes))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"BlockRun(nblocks={self.nblocks}, block_bytes={self.block_bytes}, "
+            f"nbytes={self.nbytes})"
+        )
+
+
+class BufferPool:
+    """Bounded pool of reusable ``uint8`` staging buffers.
+
+    ``take`` hands out a buffer of at least the requested size (callers
+    slice to exact length); ``give`` returns it for reuse.  The pool keeps
+    at most ``max_buffers`` and grows sizes geometrically so a long run
+    converges on a handful of right-sized arenas instead of allocating per
+    parallel I/O.
+    """
+
+    __slots__ = ("_free", "max_buffers")
+
+    def __init__(self, max_buffers: int = 8) -> None:
+        self._free: list[np.ndarray] = []
+        self.max_buffers = max_buffers
+
+    def take(self, nbytes: int) -> np.ndarray:
+        best = -1
+        for i, buf in enumerate(self._free):
+            if buf.size >= nbytes and (best < 0 or buf.size < self._free[best].size):
+                best = i
+        if best >= 0:
+            return self._free.pop(best)
+        cap = 256
+        while cap < nbytes:
+            cap *= 2
+        return np.empty(cap, dtype=np.uint8)
+
+    def give(self, buf: np.ndarray) -> None:
+        if buf.base is not None:  # only whole buffers come back
+            return
+        if len(self._free) < self.max_buffers:
+            self._free.append(buf)

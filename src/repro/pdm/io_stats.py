@@ -92,6 +92,47 @@ class IOStats:
             self.per_disk_blocks[d] += 1
         self.width_histogram[len(touched)] += 1
 
+    def record_batch(
+        self,
+        *,
+        nops: int,
+        n_read: int,
+        n_written: int,
+        read_ops: int,
+        write_ops: int,
+        per_disk: list[int],
+        width_counts: list[int],
+        D: int,
+    ) -> None:
+        """Record the aggregate of *nops* parallel I/Os in one call.
+
+        The fast path computes batch boundaries vectorially and folds the
+        whole stream into the counters at once; the per-field arithmetic is
+        exactly the sum of the per-op :meth:`record` calls the reference
+        path would have made.  ``per_disk[d]`` is the number of blocks
+        serviced by disk *d* and ``width_counts[w]`` the number of batches
+        touching exactly *w* disks.
+        """
+        if self.D is None:
+            self.D = D
+            self._size_counters(D)
+        elif D != self.D:
+            raise ValueError(
+                f"parallel I/O recorded with D={D} on stats sized for "
+                f"D={self.D} disks"
+            )
+        self.parallel_ios += nops
+        self.blocks_read += n_read
+        self.blocks_written += n_written
+        self.read_ops += read_ops
+        self.write_ops += write_ops
+        for d, c in enumerate(per_disk):
+            if c:
+                self.per_disk_blocks[d] += int(c)
+        for w, c in enumerate(width_counts):
+            if c:
+                self.width_histogram[w] += int(c)
+
     @property
     def blocks_total(self) -> int:
         return self.blocks_read + self.blocks_written

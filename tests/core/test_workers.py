@@ -234,3 +234,34 @@ class TestDelivery:
         )
         assert got.outputs == ref.outputs
         assert got.report.io.as_dict() == ref.report.io.as_dict()
+
+
+class TestSharedMemoryTransport:
+    """The bulk payload transport (multiprocessing.shared_memory).
+
+    ``REPRO_SHM_BYTES`` sets the per-exchange byte threshold above which
+    worker message payloads travel through a shared-memory segment instead
+    of the queue pickle stream.  Forcing it to 1 routes essentially every
+    exchange through the segment; the result must be indistinguishable
+    from the queue path.
+    """
+
+    @pytest.mark.parametrize("shm_bytes", ["1", "0"], ids=["forced-shm", "no-shm"])
+    def test_transport_choice_is_invisible(self, monkeypatch, shm_bytes):
+        monkeypatch.setenv("REPRO_SHM_BYTES", shm_bytes)
+        data = make_rng(11).integers(0, 2**40, N)
+        cfg = MachineConfig(N=N, v=V, p=4, D=D, B=B)
+        ref = em_sort(data, cfg, engine="par")
+        got = em_sort(data, cfg.with_(workers=4), engine="par")
+        assert np.array_equal(got.values, ref.values)
+        assert _counters(got.report) == _counters(ref.report)
+
+    def test_forced_shm_matches_forced_queue(self, monkeypatch):
+        data = make_rng(12).integers(0, 2**40, N)
+        cfg = MachineConfig(N=N, v=V, p=2, D=D, B=B, workers=2)
+        monkeypatch.setenv("REPRO_SHM_BYTES", "1")
+        shm = em_sort(data, cfg, engine="par")
+        monkeypatch.setenv("REPRO_SHM_BYTES", "0")
+        queued = em_sort(data, cfg, engine="par")
+        assert np.array_equal(shm.values, queued.values)
+        assert _counters(shm.report) == _counters(queued.report)

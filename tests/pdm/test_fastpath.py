@@ -1,0 +1,298 @@
+"""The vectorized fast path's building blocks, proved against the
+reference machinery.
+
+The fast path (:mod:`repro.pdm.fastpath`, :mod:`repro.pdm.arena`, the
+``write_stream``/``read_run`` bulk APIs) is an *implementation* of the
+same PDM, not a looser variant: every observable — batch widths, IOStats,
+per-disk counters, stored bytes, raised errors — must be bit-identical to
+the per-block reference loop.  The hypothesis suites here drive both
+implementations with the same arbitrary placement streams and compare
+everything observable.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pdm import fastpath
+from repro.pdm.arena import MAX_DIRECT_TRACK, TrackArena
+from repro.pdm.block import blocks_for_bytes
+from repro.pdm.disk_array import DiskArray, greedy_batch_widths
+from repro.pdm.fastpath import BlockRun, BufferPool
+from repro.util.items import ITEM_BYTES
+from repro.util.validation import SimulationError
+
+
+@pytest.fixture(autouse=True)
+def _restore_fastpath_env():
+    was = fastpath.enabled()
+    yield
+    fastpath.set_enabled(was)
+
+
+def _make_array(D: int, B: int, fast: bool) -> DiskArray:
+    fastpath.set_enabled(fast)
+    arr = DiskArray(D=D, B=B)
+    assert (arr._arena is not None) == fast
+    return arr
+
+
+# ------------------------------------------------------------------ BlockRun
+
+
+class TestBlockRun:
+    def test_to_blocks_pads_the_tail(self):
+        run = BlockRun(b"abcdefgh" + b"xy", nblocks=2, block_bytes=8)
+        assert run.to_blocks() == [b"abcdefgh", b"xy" + b"\x00" * 6]
+
+    def test_rejects_overlong_buffer(self):
+        with pytest.raises(ValueError):
+            BlockRun(b"x" * 17, nblocks=2, block_bytes=8)
+
+    def test_pickle_roundtrip_materializes_views(self):
+        base = np.frombuffer(b"A" * 16, dtype=np.uint8)
+        run = BlockRun(memoryview(base)[4:12], nblocks=1, block_bytes=8)
+        back = pickle.loads(pickle.dumps(run))
+        assert bytes(back.buf) == b"A" * 8
+        assert (back.nblocks, back.block_bytes) == (1, 8)
+
+    def test_nbytes(self):
+        assert BlockRun(b"x" * 10, 2, 8).nbytes == 10
+
+
+class TestBufferPool:
+    def test_reuses_returned_buffers(self):
+        pool = BufferPool()
+        buf = pool.take(100)
+        assert buf.nbytes >= 100
+        pool.give(buf)
+        assert pool.take(50) is buf
+
+    def test_rejects_views(self):
+        pool = BufferPool()
+        buf = pool.take(64)
+        pool.give(buf[:16])  # a view must not enter the pool
+        assert pool.take(16) is not buf
+
+
+def test_blocks_for_bytes():
+    bb = 4 * ITEM_BYTES
+    assert blocks_for_bytes(0, 4) == 0
+    assert blocks_for_bytes(1, 4) == 1
+    assert blocks_for_bytes(bb, 4) == 1
+    assert blocks_for_bytes(bb + 1, 4) == 2
+    with pytest.raises(ValueError):
+        blocks_for_bytes(8, 0)
+
+
+# ------------------------------------------------- greedy batching equivalence
+
+
+def _fifo_reference_widths(disks: list[int]) -> list[int]:
+    """The write_blocks/read_blocks FIFO rule, stated directly."""
+    widths: list[int] = []
+    seen: set[int] = set()
+    w = 0
+    for d in disks:
+        if d in seen:
+            widths.append(w)
+            seen, w = set(), 0
+        seen.add(d)
+        w += 1
+    if w:
+        widths.append(w)
+    return widths
+
+
+@given(
+    disks=st.lists(st.integers(min_value=0, max_value=4), max_size=200),
+    D=st.integers(min_value=5, max_value=8),
+)
+def test_greedy_batch_widths_matches_fifo_reference(disks, D):
+    arr = np.asarray(disks, dtype=np.int64)
+    nops, widths = greedy_batch_widths(arr, D)
+    assert nops == len(widths)
+    assert widths.tolist() == _fifo_reference_widths(disks)
+    assert int(widths.sum()) == len(disks)
+    assert all(w <= D for w in widths.tolist())
+
+
+@given(n=st.integers(min_value=0, max_value=64), D=st.integers(min_value=1, max_value=7), start=st.integers(min_value=0, max_value=6))
+def test_greedy_batch_widths_striped_case(n, D, start):
+    disks = (start + np.arange(n, dtype=np.int64)) % D
+    nops, widths = greedy_batch_widths(disks, D)
+    assert widths.tolist() == _fifo_reference_widths(disks.tolist())
+
+
+# ------------------------------------------------------------------ TrackArena
+
+
+class TestTrackArena:
+    def test_put_get_roundtrip_and_growth(self):
+        a = TrackArena(D=2, block_bytes=8)
+        a.put(0, 500, b"abcdefgh")  # beyond initial rows: must grow
+        assert a.get(0, 500) == b"abcdefgh"
+        assert a.get(0, 1) is None
+
+    def test_short_block_kept_exact(self):
+        a = TrackArena(D=1, block_bytes=8)
+        a.put(0, 0, b"xy")
+        assert a.get(0, 0) == b"xy"
+
+    def test_huge_track_goes_to_side_dict(self):
+        a = TrackArena(D=1, block_bytes=8)
+        a.put(0, MAX_DIRECT_TRACK + 7, b"deadbeef")
+        assert a.get(0, MAX_DIRECT_TRACK + 7) == b"deadbeef"
+        assert a.max_track(0) == MAX_DIRECT_TRACK + 7
+        out = np.empty((1, 8), dtype=np.uint8)
+        assert not a.gather(
+            np.zeros(1, dtype=np.int64),
+            np.asarray([MAX_DIRECT_TRACK + 7], dtype=np.int64),
+            out,
+        )
+
+    def test_scatter_last_wins_on_duplicates(self):
+        a = TrackArena(D=1, block_bytes=4)
+        rows = np.frombuffer(b"AAAABBBB", dtype=np.uint8).reshape(2, 4)
+        a.scatter(np.zeros(2, dtype=np.int64), np.zeros(2, dtype=np.int64), rows)
+        assert a.get(0, 0) == b"BBBB"
+
+    def test_snapshot_restore(self):
+        a = TrackArena(D=2, block_bytes=4)
+        a.put(0, 3, b"ab")
+        a.put(1, 0, b"cdef")
+        snap = a.snapshot(0)
+        b = TrackArena(D=2, block_bytes=4)
+        b.restore(0, snap)
+        assert b.get(0, 3) == b"ab"
+        assert b.tracks_in_use(0) == 1
+
+
+# ------------------------------------------- DiskArray fast/reference identity
+
+
+def _segment_stream(draw):
+    """A write stream plus a read plan over the addresses it defines."""
+    D = draw(st.integers(min_value=1, max_value=4))
+    B = draw(st.integers(min_value=1, max_value=3))
+    bb = B * ITEM_BYTES
+    n_addr = draw(st.integers(min_value=1, max_value=24))
+    addrs = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=D - 1),
+                st.integers(min_value=0, max_value=12),
+            ),
+            min_size=n_addr,
+            max_size=n_addr,
+        )
+    )
+    payload = draw(st.binary(min_size=0, max_size=n_addr * bb))
+    return D, B, addrs, payload
+
+
+@st.composite
+def streams(draw):
+    return _segment_stream(draw)
+
+
+@settings(max_examples=40)
+@given(streams())
+def test_write_stream_matches_write_blocks(stream):
+    D, B, addrs, payload = stream
+    bb = B * ITEM_BYTES
+    nblocks = len(addrs)
+    payload = payload.ljust(0)  # may be shorter than the run: zero-padded tail
+    run = BlockRun(payload[: nblocks * bb], nblocks=nblocks, block_bytes=bb)
+    disks = np.asarray([d for d, _ in addrs], dtype=np.int64)
+    tracks = np.asarray([t for _, t in addrs], dtype=np.int64)
+
+    fast = _make_array(D, B, fast=True)
+    ref = _make_array(D, B, fast=False)
+    ops_fast = fast.write_run(disks, tracks, run)
+    ops_ref = ref.write_blocks(list(zip(disks.tolist(), tracks.tolist(), run.to_blocks())))
+
+    assert ops_fast == ops_ref
+    assert fast.stats.as_dict() == ref.stats.as_dict()
+    for d in range(D):
+        assert fast.disks[d].snapshot_tracks() == ref.disks[d].snapshot_tracks()
+        assert fast.disks[d].blocks_written == ref.disks[d].blocks_written
+
+    # read everything back through both paths (dedup keeps batching valid)
+    uniq = sorted(set(addrs))
+    rd = np.asarray([d for d, _ in uniq], dtype=np.int64)
+    rt = np.asarray([t for _, t in uniq], dtype=np.int64)
+    got_fast = fast.read_run(rd, rt)
+    got_ref = b"".join(
+        blk.ljust(bb, b"\x00") for blk in ref.read_blocks(uniq)
+    )
+    assert bytes(got_fast) == got_ref
+    assert fast.stats.as_dict() == ref.stats.as_dict()
+    for d in range(D):
+        assert fast.disks[d].blocks_read == ref.disks[d].blocks_read
+
+
+def test_read_run_unwritten_track_raises_canonical_error():
+    fast = _make_array(2, 1, fast=True)
+    ref = _make_array(2, 1, fast=False)
+    with pytest.raises(SimulationError) as e_fast:
+        fast.read_run(np.asarray([0]), np.asarray([3]))
+    with pytest.raises(SimulationError) as e_ref:
+        ref.read_blocks([(0, 3)])
+    assert str(e_fast.value) == str(e_ref.value)
+
+
+def test_write_stream_rejects_bad_addresses_both_paths():
+    run = BlockRun(b"\x00" * ITEM_BYTES, 1, ITEM_BYTES)
+    for fast in (True, False):
+        arr = _make_array(2, 1, fast=fast)
+        with pytest.raises(SimulationError):
+            arr.write_run(np.asarray([5]), np.asarray([0]), run)
+        with pytest.raises(SimulationError):
+            arr.write_run(np.asarray([0]), np.asarray([-1]), run)
+
+
+def test_snapshot_restore_portable_across_storage_modes():
+    """A checkpoint taken in one storage mode restores into the other."""
+    fast = _make_array(2, 1, fast=True)
+    run = BlockRun(b"12345678" * 3, 3, ITEM_BYTES)
+    fast.write_run(np.asarray([0, 1, 0]), np.asarray([0, 0, 1]), run)
+    snap = {d: fast.disks[d].snapshot_tracks() for d in range(2)}
+
+    ref = _make_array(2, 1, fast=False)
+    for d in range(2):
+        ref.disks[d].restore_tracks(snap[d])
+    assert ref.read_blocks([(0, 0), (1, 0), (0, 1)]) == [b"12345678"] * 3
+
+
+# ------------------------------------------------------------------ env knobs
+
+
+def test_fastpath_env_flag(monkeypatch):
+    monkeypatch.setenv("REPRO_FASTPATH", "0")
+    assert not fastpath.enabled()
+    monkeypatch.setenv("REPRO_FASTPATH", "off")
+    assert not fastpath.enabled()
+    monkeypatch.setenv("REPRO_FASTPATH", "1")
+    assert fastpath.enabled()
+    monkeypatch.delenv("REPRO_FASTPATH")
+    assert fastpath.enabled()  # default on
+
+
+def test_shm_threshold_knob(monkeypatch):
+    monkeypatch.delenv("REPRO_SHM_BYTES", raising=False)
+    monkeypatch.setenv("REPRO_FASTPATH", "1")
+    assert fastpath.shm_threshold() == fastpath.DEFAULT_SHM_THRESHOLD
+    monkeypatch.setenv("REPRO_SHM_BYTES", "4096")
+    assert fastpath.shm_threshold() == 4096
+    monkeypatch.setenv("REPRO_SHM_BYTES", "0")
+    assert fastpath.shm_threshold() is None
+    monkeypatch.setenv("REPRO_SHM_BYTES", "nonsense")
+    assert fastpath.shm_threshold() == fastpath.DEFAULT_SHM_THRESHOLD
+    monkeypatch.setenv("REPRO_FASTPATH", "0")
+    assert fastpath.shm_threshold() is None
