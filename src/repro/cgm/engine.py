@@ -159,6 +159,16 @@ class Engine:
     def _round_boundary(self, r: int) -> None:
         """Called after each CGM round (superstep bookkeeping)."""
 
+    def _begin_superstep(self, pids: "list[int]") -> None:
+        """Called with the pid schedule before a round's compound-superstep
+        loop.  Backends that overlap I/O with compute (the EM engines'
+        double-buffered context prefetch) start their pipelines here; the
+        default is a no-op."""
+
+    def _end_superstep(self) -> None:
+        """Called after the compound-superstep loop, including on error —
+        pipelines started in :meth:`_begin_superstep` must drain here."""
+
     def _finalize(self, report: CostReport) -> None:
         """Fold backend counters into the report."""
 
@@ -285,8 +295,13 @@ class Engine:
         cfg = self.cfg
         step = RoundStep.empty(cfg.v, cfg.p)
         io_before = self._io_totals()
-        for pid in self._local_pids():
-            self._run_vproc(program, r, pid, rngs[pid], step)
+        pids = list(self._local_pids())
+        self._begin_superstep(pids)
+        try:
+            for pid in pids:
+                self._run_vproc(program, r, pid, rngs[pid], step)
+        finally:
+            self._end_superstep()
         self._flip()
         if self.balanced:
             self._relay_superstep()

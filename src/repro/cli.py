@@ -24,6 +24,7 @@ import sys
 import numpy as np
 
 from repro.cgm.config import MachineConfig
+from repro.pdm import fastpath
 from repro.pdm.io_stats import DiskServiceModel
 from repro.util.validation import ConfigurationError, SimulationError
 
@@ -95,6 +96,14 @@ def _add_machine_args(p: argparse.ArgumentParser, n_default: int = 1 << 16) -> N
         action="store_true",
         help="restore the newest snapshot in --checkpoint DIR and "
         "continue instead of starting over",
+    )
+    p.add_argument(
+        "--arena",
+        choices=["ram", "mmap"],
+        default=None,
+        help="track-arena storage backend: preallocated host memory (ram, "
+        "the default) or memory-mapped spill files for out-of-core runs "
+        "(mmap); equivalent to setting REPRO_ARENA",
     )
 
 
@@ -608,6 +617,10 @@ def main(argv: list[str] | None = None) -> int:
         return 2
     if getattr(args, "command", None) == "cc" and args.edges is None:
         args.edges = 2 * args.n
+    if getattr(args, "arena", None) is not None:
+        # written to the environment so the workers backend's processes
+        # inherit the same storage selection
+        fastpath.set_arena_kind(args.arena)
     try:
         return fn(args)
     except (SimulationError, ConfigurationError) as exc:

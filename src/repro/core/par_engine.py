@@ -50,6 +50,7 @@ from repro.pdm.block import blocks_for_bytes, pack_blocks, unpack_blocks
 from repro.pdm.disk_array import DiskArray
 from repro.pdm.fastpath import BlockRun, BufferPool
 from repro.pdm.io_stats import IOStats
+from repro.pdm.pipeline import DoubleBufferedReader
 from repro.pdm.memory import InternalMemory
 from repro.util.items import ITEM_BYTES, deserialize, serialize
 from repro.util.validation import require
@@ -107,6 +108,7 @@ class ParEMEngine(Engine):
         self._fastpath = fastpath.enabled() and self.faults is None
         self._block_bytes = cfg.B * ITEM_BYTES
         self._iopool = BufferPool()
+        self._prefetch: DoubleBufferedReader | None = None
 
         # storage is keyed by real-processor id so a worker process can
         # instantiate only the reals it owns (see repro.core.workers)
@@ -159,6 +161,33 @@ class ParEMEngine(Engine):
 
     # ------------------------------------------------------------- contexts
 
+    def _begin_superstep(self, pids: "list[int]") -> None:
+        """Start the double-buffered context prefetch for one round.
+
+        The context directory fixes every pid's read addresses before the
+        loop runs, and a pid's tracks are only rewritten by its *own*
+        store (strictly after its load) — so the whole schedule can be
+        submitted up front and gathered concurrently with compute.  See
+        :mod:`repro.pdm.pipeline` for the determinism argument.
+        """
+        if not (self._fastpath and fastpath.prefetch_enabled()):
+            return
+        schedule = [pid for pid in pids if pid in self._ctx_region]
+        if len(schedule) < 2:  # nothing to overlap
+            return
+        reader = DoubleBufferedReader()
+        for pid in schedule:
+            start, _rows, nblocks = self._ctx_region[pid]
+            dd, tt = consecutive_addresses_np(nblocks, self.cfg.D, start)
+            reader.submit(self.arrays[self._owner(pid)], dd, tt, key=pid)
+        self._prefetch = reader
+        self._prefetch_keys = set(schedule)
+
+    def _end_superstep(self) -> None:
+        if self._prefetch is not None:
+            self._prefetch.close()
+            self._prefetch = None
+
     def _store_context(self, pid: int, ctx: Context) -> None:
         owner = self._owner(pid)
         array, alloc = self.arrays[owner], self.allocators[owner]
@@ -205,7 +234,15 @@ class ParEMEngine(Engine):
         owner = self._owner(pid)
         array = self.arrays[owner]
         start, _rows, nblocks = self._ctx_region[pid]
-        if self._fastpath:
+        pre = (
+            self._prefetch
+            if self._prefetch is not None and pid in self._prefetch_keys
+            else None
+        )
+        if pre is not None:
+            self._prefetch_keys.discard(pid)
+            flat, buf = pre.get(pid)
+        elif self._fastpath:
             dd, tt = consecutive_addresses_np(nblocks, self.cfg.D, start)
             buf = self._iopool.take(nblocks * self._block_bytes)
             flat = array.read_run(dd, tt, out=buf)
@@ -226,7 +263,10 @@ class ParEMEngine(Engine):
             # deserialize copies out of the buffer on both encodings, so
             # the pooled staging area can be reused immediately
             ctx = Context(deserialize(flat))
-            self._iopool.give(buf)
+            if pre is not None:
+                pre.release(buf)
+            else:
+                self._iopool.give(buf)
             return ctx
         return Context(deserialize(unpack_blocks(blocks)))
 

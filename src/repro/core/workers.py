@@ -348,8 +348,13 @@ class _WorkerEngine(ParEMEngine):
         step = RoundStep.empty(cfg.v, cfg.p)
         io_before = self._io_totals()
         self._begin_phase()
-        for pid in self._local_pids():
-            self._run_vproc(program, r, pid, rngs[pid], step)
+        pids = list(self._local_pids())
+        self._begin_superstep(pids)
+        try:
+            for pid in pids:
+                self._run_vproc(program, r, pid, rngs[pid], step)
+        finally:
+            self._end_superstep()
         self._exchange_phase(net, r, 0)
         self._flip()
         if self.balanced:

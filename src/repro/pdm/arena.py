@@ -21,6 +21,13 @@ Invariants that keep the arena interchangeable with the dict:
 ``snapshot``/``restore`` produce and accept the reference representation
 (``dict[int, bytes]``), which keeps engine checkpoints portable between
 ``REPRO_FASTPATH`` settings.
+
+Storage backends: this class keeps the track matrices as preallocated
+in-memory arrays (``REPRO_ARENA=ram``, the default);
+:class:`repro.pdm.mmap_arena.MmapTrackArena` subclasses it to back them
+with per-disk ``numpy.memmap`` spill files for out-of-core runs
+(``REPRO_ARENA=mmap``).  Only :meth:`_grow_data` differs — every batch
+operation, invariant and snapshot shape is shared.
 """
 
 from __future__ import annotations
@@ -58,15 +65,22 @@ class TrackArena:
         cap = max(_INITIAL_ROWS, have)
         while cap < rows:
             cap *= 2
-        data = np.zeros((cap, self.block_bytes), dtype=np.uint8)
-        data[:have] = self._data[disk]
+        self._grow_data(disk, cap, have)
         used = np.zeros(cap, dtype=bool)
         used[:have] = self._used[disk]
         nbytes = np.zeros(cap, dtype=np.int64)
         nbytes[:have] = self._nbytes[disk]
-        self._data[disk] = data
         self._used[disk] = used
         self._nbytes[disk] = nbytes
+
+    def _grow_data(self, disk: int, cap: int, have: int) -> None:
+        """Grow one disk's track matrix to *cap* rows, preserving the
+        first *have* rows and zero-filling the rest.  The storage-backend
+        hook: the base class reallocates in RAM, the mmap subclass
+        extends its spill file with ``ftruncate`` and remaps."""
+        data = np.zeros((cap, self.block_bytes), dtype=np.uint8)
+        data[:have] = self._data[disk]
+        self._data[disk] = data
 
     # -- single-track operations (Disk delegates here) ---------------------
 
@@ -115,8 +129,17 @@ class TrackArena:
 
         Duplicate addresses within one call resolve last-wins, matching the
         sequential reference loop.  Rows must already carry their padding;
-        every stored track is marked full-stride.
+        every stored track is marked full-stride.  Tracks at or beyond
+        ``MAX_DIRECT_TRACK`` divert to the side dict exactly as
+        :meth:`put` does — growing the dense matrix to reach them would
+        allocate rows for the whole gap.
         """
+        if tracks.size and int(tracks.max()) >= MAX_DIRECT_TRACK:
+            far = tracks >= MAX_DIRECT_TRACK
+            for i in np.flatnonzero(far).tolist():
+                self.put(int(disks[i]), int(tracks[i]), rows[i].tobytes())
+            near = ~far
+            disks, tracks, rows = disks[near], tracks[near], rows[near]
         bb = self.block_bytes
         for d in range(self.D):
             idx = np.flatnonzero(disks == d)
@@ -161,6 +184,35 @@ class TrackArena:
 
     def tracks_in_use(self, disk: int) -> int:
         return int(self._used[disk].sum()) + len(self._side[disk])
+
+    def resident_nbytes(self) -> int:
+        """Host-memory footprint of the arena's storage.
+
+        For the RAM backend this includes the track matrices themselves;
+        the mmap backend excludes them (they are file-backed and paged by
+        the OS), which is what the scale benchmarks assert stays
+        O(bookkeeping), not O(N).
+        """
+        total = sum(int(d.nbytes) for d in self._data)
+        return total + self._bookkeeping_nbytes()
+
+    def _bookkeeping_nbytes(self) -> int:
+        total = 0
+        for d in range(self.D):
+            total += int(self._used[d].nbytes) + int(self._nbytes[d].nbytes)
+            total += sum(len(p) for p in self._side[d].values())
+        return total
+
+    def spill_nbytes(self) -> int:
+        """Bytes held in spill files (0 for the in-memory backend)."""
+        return 0
+
+    def close(self) -> None:
+        """Release backing storage (spill files for the mmap backend).
+
+        The RAM arena has nothing to release; the method exists so callers
+        can tear down any arena uniformly.
+        """
 
     def max_track(self, disk: int) -> int:
         used = np.flatnonzero(self._used[disk])

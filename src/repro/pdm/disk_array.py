@@ -33,6 +33,7 @@ from repro.pdm import fastpath
 from repro.pdm.arena import TrackArena
 from repro.pdm.disk import Disk
 from repro.pdm.fastpath import BlockRun
+from repro.pdm.mmap_arena import make_arena
 from repro.pdm.io_stats import IOStats
 from repro.util.items import ITEM_BYTES
 from repro.util.validation import SimulationError, require
@@ -117,7 +118,7 @@ class DiskArray:
         self.B = B
         self.block_bytes = B * ITEM_BYTES
         self._arena: TrackArena | None = (
-            TrackArena(D, self.block_bytes) if self._use_fastpath_storage() else None
+            make_arena(D, self.block_bytes) if self._use_fastpath_storage() else None
         )
         self.disks = [Disk(d, arena=self._arena) for d in range(D)]
         self.stats = IOStats(D=D)
@@ -306,6 +307,54 @@ class DiskArray:
             pos += bb
         return flat
 
+    # -- speculative reads (double-buffered prefetch) -----------------------
+
+    def try_gather(
+        self, disks: np.ndarray, tracks: np.ndarray, out: np.ndarray
+    ) -> bool:
+        """Speculatively gather blocks into *out* without any accounting.
+
+        The prefetch worker thread calls this off the main thread, so it
+        must never raise and never touch ``stats`` or per-disk counters —
+        those are mutated by :meth:`finish_read` on the consuming thread,
+        which keeps IOStats single-threaded and bit-identical to the
+        synchronous path.  Returns ``True`` only when every block was
+        copied out of the dense arena; any fallback condition (reference
+        mode, side-dict tracks, bad addresses, unwritten tracks) returns
+        ``False`` and leaves the work to :meth:`finish_read`.
+        """
+        if self._arena is None:
+            return False
+        try:
+            self._check_addresses(disks, tracks)
+        except SimulationError:
+            return False
+        n = int(disks.size)
+        rows = out[: n * self.block_bytes].reshape(n, self.block_bytes)
+        return self._arena.gather(disks, tracks, rows)
+
+    def finish_read(
+        self,
+        disks: np.ndarray,
+        tracks: np.ndarray,
+        out: np.ndarray,
+        hit: bool,
+    ) -> np.ndarray:
+        """Complete a speculative gather on the consuming thread.
+
+        On a *hit* the data already sits in *out*; only the deferred
+        accounting runs (same address checks, batch widths and counter
+        updates as :meth:`read_run`).  On a miss this simply performs the
+        synchronous :meth:`read_run`, which re-raises canonical errors.
+        """
+        if not hit:
+            return self.read_run(disks, tracks, out=out)
+        n = int(disks.size)
+        self._check_addresses(disks, tracks)
+        nops, widths = greedy_batch_widths(disks, self.D)
+        self._account_bulk(disks, nops, widths, n_read=n, n_written=0)
+        return out[: n * self.block_bytes]
+
     def _check_addresses(self, disks: np.ndarray, tracks: np.ndarray) -> None:
         if disks.size and (
             int(disks.min()) < 0 or int(disks.max()) >= self.D
@@ -371,7 +420,12 @@ class DiskArray:
                 if per_disk[d]:
                     self.disks[d].blocks_read += int(per_disk[d])
 
-    # -- inspection ----------------------------------------------------------
+    # -- lifecycle / inspection ----------------------------------------------
+
+    def close(self) -> None:
+        """Release arena storage (deletes mmap spill files, if any)."""
+        if self._arena is not None:
+            self._arena.close()
 
     @property
     def tracks_in_use(self) -> int:

@@ -16,6 +16,13 @@ this.  This module holds the pieces shared by both sides of the split:
 * :func:`enabled` / :func:`set_enabled` — the ``REPRO_FASTPATH`` switch
   (default on).  ``set_enabled`` writes the environment variable too, so
   worker processes spawned after the call agree with the parent.
+* :func:`arena_kind` / :func:`set_arena_kind` — the ``REPRO_ARENA``
+  storage selector for the fast path's track arena: ``ram`` (default,
+  preallocated NumPy) or ``mmap`` (file-backed
+  :class:`~repro.pdm.mmap_arena.MmapTrackArena` for out-of-core runs).
+* :func:`prefetch_enabled` — the ``REPRO_PREFETCH`` switch (default on)
+  for the double-buffered context prefetch pipeline
+  (:mod:`repro.pdm.pipeline`).
 * :class:`BlockRun` — a run of fixed-size blocks backed by one buffer,
   the zero-copy replacement for a ``list[bytes]`` of packed blocks.
 * :class:`BufferPool` — bounded reuse of gather/scatter staging buffers,
@@ -55,6 +62,57 @@ def set_enabled(flag: bool) -> None:
     workers backend) inherit the same selection.
     """
     os.environ["REPRO_FASTPATH"] = "1" if flag else "0"
+
+
+#: storage backends the track arena can use (see repro.pdm.mmap_arena).
+ARENA_KINDS = ("ram", "mmap")
+
+
+def arena_kind() -> str:
+    """The arena storage backend selected by ``REPRO_ARENA``.
+
+    ``ram`` (the default) keeps each disk's track matrix as a
+    preallocated in-memory NumPy array; ``mmap`` backs it with per-disk
+    ``numpy.memmap`` files under a run-scoped spill directory, so the
+    simulated problem size is bounded by disk, not host memory.  Read
+    dynamically so tests can flip the environment per-run; an unknown
+    value fails loudly rather than silently running in the wrong mode.
+    """
+    raw = os.environ.get("REPRO_ARENA", "ram").strip().lower() or "ram"
+    if raw not in ARENA_KINDS:
+        from repro.util.validation import ConfigurationError
+
+        raise ConfigurationError(
+            f"unknown REPRO_ARENA value {raw!r}; choose from {ARENA_KINDS}"
+        )
+    return raw
+
+
+def set_arena_kind(kind: str) -> None:
+    """Select the arena storage backend process-wide.
+
+    Writes ``REPRO_ARENA`` so child processes started afterwards (the
+    workers backend) build the same storage.
+    """
+    if kind not in ARENA_KINDS:
+        from repro.util.validation import ConfigurationError
+
+        raise ConfigurationError(
+            f"unknown arena kind {kind!r}; choose from {ARENA_KINDS}"
+        )
+    os.environ["REPRO_ARENA"] = kind
+
+
+def prefetch_enabled() -> bool:
+    """True when the double-buffered context prefetcher is selected.
+
+    ``REPRO_PREFETCH`` — unset or truthy means *on*; the pipeline only
+    engages on the fast path (the reference path stays a strictly
+    sequential executable specification).
+    """
+    if not enabled():
+        return False
+    return os.environ.get("REPRO_PREFETCH", "1").strip().lower() not in _FALSE
 
 
 def shm_threshold() -> int | None:

@@ -219,6 +219,68 @@ class TestResumeWorkers:
             run_sort(self.CFG, program=CrashySort(KILL_ROUND, counter))
 
 
+class TestCrossArenaResume:
+    """Checkpoints are portable across ``REPRO_ARENA`` storage backends:
+    the snapshot is the dict representation, so a run killed on the mmap
+    arena resumes on the RAM arena (and vice versa) bit-identically."""
+
+    CFG = MachineConfig(N=N, v=V, p=2, D=D, B=B)
+
+    @pytest.mark.parametrize(
+        "kill_arena,resume_arena", [("mmap", "ram"), ("ram", "mmap")]
+    )
+    def test_checkpoint_ports_across_arenas(
+        self, tmp_path, monkeypatch, kill_arena, resume_arena
+    ):
+        clean_tr = JsonlRecorder()
+        clean = run_sort(self.CFG, tracer=clean_tr)  # default-arena baseline
+
+        ck = str(tmp_path / "ck")
+        flag = str(tmp_path / "kill.flag")
+        open(flag, "w").write("1")
+        monkeypatch.setenv("REPRO_ARENA", kill_arena)
+        with pytest.raises((KeyboardInterrupt, SimulationError)):
+            run_sort(
+                self.CFG, program=KillableSort(KILL_ROUND, flag), checkpoint=ck
+            )
+        assert not os.path.exists(flag), "the kill never fired"
+
+        monkeypatch.setenv("REPRO_ARENA", resume_arena)
+        tr = JsonlRecorder()
+        resumed = run_sort(self.CFG, checkpoint=ck, resume=True, tracer=tr)
+
+        for a, b in zip(clean.outputs, resumed.outputs):
+            assert np.array_equal(a, b)
+        assert counters(clean.report) == counters(resumed.report)
+        tail = [
+            ev for ev in stripped(clean_tr.events)
+            if ev["kind"] == "run_end" or ev["round"] >= KILL_ROUND
+        ]
+        assert stripped(tr.events) == tail
+        assert tr.counts().get("resume") == 1
+
+    def test_mmap_checkpoint_restores_on_reference_path(
+        self, tmp_path, monkeypatch
+    ):
+        """The extreme cross: killed on the mmap arena, resumed with the
+        fast path disabled entirely (dict-backed reference storage)."""
+        clean = run_sort(self.CFG)
+        ck = str(tmp_path / "ck")
+        flag = str(tmp_path / "kill.flag")
+        open(flag, "w").write("1")
+        monkeypatch.setenv("REPRO_ARENA", "mmap")
+        with pytest.raises((KeyboardInterrupt, SimulationError)):
+            run_sort(
+                self.CFG, program=KillableSort(KILL_ROUND, flag), checkpoint=ck
+            )
+        monkeypatch.delenv("REPRO_ARENA")
+        monkeypatch.setenv("REPRO_FASTPATH", "0")
+        resumed = run_sort(self.CFG, checkpoint=ck, resume=True)
+        for a, b in zip(clean.outputs, resumed.outputs):
+            assert np.array_equal(a, b)
+        assert counters(clean.report) == counters(resumed.report)
+
+
 class TestRefusals:
     CFG = MachineConfig(N=N, v=V, p=2, D=D, B=B)
 

@@ -1,0 +1,287 @@
+"""Three-way storage-backend equivalence: dict Disk, RAM arena, mmap arena.
+
+One logical track store, three implementations.  The hypothesis suites
+drive the *same* randomized operation sequence through all three and
+assert that every observable — returned bytes, ``SimulationError`` parity
+on free-track reads, occupancy, snapshots, side-dict fallbacks for
+odd-sized and shadow-region tracks — is identical.  The boundary classes
+pin the exact ``MAX_DIRECT_TRACK`` edge, where a track one below must stay
+dense and a track at the constant must divert to the side dict (the
+scatter path historically skipped that check and allocated rows for the
+whole gap).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pdm.arena import MAX_DIRECT_TRACK, TrackArena
+from repro.pdm.disk import Disk
+from repro.pdm.mmap_arena import MmapTrackArena
+from repro.util.validation import SimulationError
+
+D = 2
+BB = 8  # block bytes
+
+
+@pytest.fixture
+def trio():
+    """One dict-backed disk bank plus RAM- and mmap-arena banks."""
+    ram = TrackArena(D, BB)
+    mm = MmapTrackArena(D, BB)
+    banks = (
+        [Disk(d) for d in range(D)],
+        [Disk(d, arena=ram) for d in range(D)],
+        [Disk(d, arena=mm) for d in range(D)],
+    )
+    yield banks
+    mm.close()
+
+
+def _read_all(banks, disk: int, track: int):
+    """Read one address through every backend; returns the common result.
+
+    Either all three return the same bytes or all three raise the same
+    canonical error — anything else is an equivalence bug.
+    """
+    results = []
+    for bank in banks:
+        try:
+            results.append(bank[disk].read(track))
+        except SimulationError as exc:
+            results.append(str(exc))
+    assert results[0] == results[1] == results[2], (disk, track, results)
+    return results[0]
+
+
+# ------------------------------------------------------------- op sequences
+
+# Track values exercise the dense range, the side-dict shadow region
+# (>= MAX_DIRECT_TRACK, as the fault injector's remaps use), and payload
+# sizes exercise full-stride, short (padded) and oversized (side dict).
+_tracks = st.one_of(
+    st.integers(min_value=0, max_value=24),
+    st.sampled_from([MAX_DIRECT_TRACK, MAX_DIRECT_TRACK + 5, (1 << 40) + 3]),
+)
+_payloads = st.binary(min_size=0, max_size=BB + 4)
+
+_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("write"), st.integers(0, D - 1), _tracks, _payloads),
+        st.tuples(st.just("read"), st.integers(0, D - 1), _tracks),
+        st.tuples(st.just("free"), st.integers(0, D - 1), _tracks),
+    ),
+    max_size=30,
+)
+
+
+@given(ops=_ops)
+def test_randomized_sequences_are_equivalent(ops):
+    ram = TrackArena(D, BB)
+    mm = MmapTrackArena(D, BB)
+    try:
+        banks = (
+            [Disk(d) for d in range(D)],
+            [Disk(d, arena=ram) for d in range(D)],
+            [Disk(d, arena=mm) for d in range(D)],
+        )
+        for op in ops:
+            if op[0] == "write":
+                _, d, t, payload = op
+                for bank in banks:
+                    bank[d].write(t, payload)
+            elif op[0] == "read":
+                _, d, t = op
+                _read_all(banks, d, t)
+            else:
+                _, d, t = op
+                for bank in banks:
+                    bank[d].free(t)
+        for d in range(D):
+            ref = banks[0][d]
+            for bank in banks[1:]:
+                assert bank[d].snapshot_tracks() == ref.snapshot_tracks()
+                assert bank[d].tracks_in_use == ref.tracks_in_use
+                assert bank[d].max_track() == ref.max_track()
+                assert bank[d].blocks_read == ref.blocks_read
+                assert bank[d].blocks_written == ref.blocks_written
+    finally:
+        mm.close()
+
+
+@settings(max_examples=25)
+@given(
+    addrs=st.lists(
+        st.tuples(st.integers(0, D - 1), st.integers(0, 15)),
+        min_size=1,
+        max_size=16,
+    ),
+    payload=st.binary(min_size=0, max_size=16 * BB),
+)
+def test_batch_scatter_gather_matches_dict_writes(addrs, payload):
+    """A full-stride batch scatter equals per-track dict writes, and both
+    arenas gather back the identical bytes."""
+    n = len(addrs)
+    raw = payload.ljust(n * BB, b"\x00")[: n * BB]
+    rows = np.frombuffer(raw, dtype=np.uint8).reshape(n, BB)
+    disks = np.asarray([a for a, _ in addrs], dtype=np.int64)
+    tracks = np.asarray([t for _, t in addrs], dtype=np.int64)
+
+    ref = [Disk(d) for d in range(D)]
+    for (d, t), i in zip(addrs, range(n)):
+        ref[d].write(t, rows[i].tobytes())
+
+    ram = TrackArena(D, BB)
+    mm = MmapTrackArena(D, BB)
+    try:
+        for arena in (ram, mm):
+            arena.scatter(disks, tracks, rows)
+            for d in range(D):
+                assert arena.snapshot(d) == ref[d].snapshot_tracks()
+            uniq = sorted(set(addrs))
+            ud = np.asarray([a for a, _ in uniq], dtype=np.int64)
+            ut = np.asarray([t for _, t in uniq], dtype=np.int64)
+            out = np.empty((len(uniq), BB), dtype=np.uint8)
+            assert arena.gather(ud, ut, out)
+            expect = b"".join(ref[d].read(t) for d, t in uniq)
+            assert out.tobytes() == expect
+    finally:
+        mm.close()
+
+
+def test_occupancy_mask_parity_after_frees(trio):
+    banks = trio
+    for bank in banks:
+        bank[0].write(0, b"A" * BB)
+        bank[0].write(1, b"B" * BB)
+        bank[1].write(2, b"C" * BB)
+        bank[0].free(1)
+        bank[1].free(9)  # freeing an unwritten track is a no-op everywhere
+    for d in range(D):
+        assert (
+            banks[0][d].snapshot_tracks()
+            == banks[1][d].snapshot_tracks()
+            == banks[2][d].snapshot_tracks()
+        )
+    assert _read_all(banks, 0, 0) == b"A" * BB
+    assert "unwritten track 1" in _read_all(banks, 0, 1)
+
+
+def test_snapshots_port_across_all_backends(trio):
+    """A snapshot taken on any backend restores into any other."""
+    src_bank = trio[2]  # mmap
+    src_bank[0].write(3, b"x" * BB)
+    src_bank[0].write(MAX_DIRECT_TRACK + 1, b"far")
+    src_bank[0].write(5, b"odd-size-payload")  # > BB: side dict
+    snap = src_bank[0].snapshot_tracks()
+    for dest_bank in trio[:2]:
+        dest_bank[0].restore_tracks(snap)
+        assert dest_bank[0].snapshot_tracks() == snap
+        assert dest_bank[0].read(MAX_DIRECT_TRACK + 1) == b"far"
+        assert dest_bank[0].read(5) == b"odd-size-payload"
+
+
+# --------------------------------------------- MAX_DIRECT_TRACK boundary
+
+
+class _Boundary:
+    """Shared boundary regressions, run against both arena backends.
+
+    Uses ``block_bytes=1`` so dense growth to the real constant's edge
+    costs ~1 MiB, keeping the true-boundary coverage cheap enough for
+    tier-1.
+    """
+
+    def make(self) -> TrackArena:
+        raise NotImplementedError
+
+    def teardown_arena(self, arena: TrackArena) -> None:
+        arena.close()
+
+    def test_put_one_below_stays_dense(self):
+        a = self.make()
+        try:
+            a.put(0, MAX_DIRECT_TRACK - 1, b"z")
+            assert a.get(0, MAX_DIRECT_TRACK - 1) == b"z"
+            assert not a._side[0], "track MAX-1 must not spill to the side dict"
+            assert a._data[0].shape[0] >= MAX_DIRECT_TRACK
+        finally:
+            self.teardown_arena(a)
+
+    def test_put_at_boundary_goes_to_side_dict(self):
+        a = self.make()
+        try:
+            a.put(0, MAX_DIRECT_TRACK, b"w")
+            assert a.get(0, MAX_DIRECT_TRACK) == b"w"
+            assert a._side[0] == {MAX_DIRECT_TRACK: b"w"}
+            assert a._data[0].shape[0] == 0, "boundary put must not grow rows"
+        finally:
+            self.teardown_arena(a)
+
+    def test_scatter_straddling_the_boundary(self):
+        """Regression: scatter used to ignore MAX_DIRECT_TRACK entirely,
+        growing dense rows for the whole gap and breaking the side-dict
+        invariant.  A straddling batch must split: below-dense, at/above-
+        side, with last-wins semantics preserved across the split."""
+        a = self.make()
+        try:
+            disks = np.zeros(3, dtype=np.int64)
+            tracks = np.asarray(
+                [MAX_DIRECT_TRACK - 1, MAX_DIRECT_TRACK, MAX_DIRECT_TRACK + 2],
+                dtype=np.int64,
+            )
+            rows = np.frombuffer(b"abc", dtype=np.uint8).reshape(3, 1)
+            a.scatter(disks, tracks, rows)
+            assert a.get(0, MAX_DIRECT_TRACK - 1) == b"a"
+            assert a.get(0, MAX_DIRECT_TRACK) == b"b"
+            assert a.get(0, MAX_DIRECT_TRACK + 2) == b"c"
+            assert set(a._side[0]) == {MAX_DIRECT_TRACK, MAX_DIRECT_TRACK + 2}
+            assert a._data[0].shape[0] <= MAX_DIRECT_TRACK
+            assert a.max_track(0) == MAX_DIRECT_TRACK + 2
+            # a dict round-trip carries all three across backends
+            snap = a.snapshot(0)
+            b = TrackArena(1, 1)
+            b.restore(0, snap)
+            assert b.snapshot(0) == snap
+        finally:
+            self.teardown_arena(a)
+
+    def test_scatter_overwrites_boundary_side_entries(self):
+        a = self.make()
+        try:
+            a.put(0, MAX_DIRECT_TRACK, b"old")
+            a.scatter(
+                np.zeros(1, dtype=np.int64),
+                np.asarray([MAX_DIRECT_TRACK], dtype=np.int64),
+                np.frombuffer(b"n", dtype=np.uint8).reshape(1, 1),
+            )
+            assert a.get(0, MAX_DIRECT_TRACK) == b"n"
+            assert a._side[0] == {MAX_DIRECT_TRACK: b"n"}
+        finally:
+            self.teardown_arena(a)
+
+    def test_gather_refuses_boundary_tracks(self):
+        a = self.make()
+        try:
+            a.put(0, MAX_DIRECT_TRACK, b"w")
+            out = np.empty((1, 1), dtype=np.uint8)
+            assert not a.gather(
+                np.zeros(1, dtype=np.int64),
+                np.asarray([MAX_DIRECT_TRACK], dtype=np.int64),
+                out,
+            )
+        finally:
+            self.teardown_arena(a)
+
+
+class TestBoundaryRam(_Boundary):
+    def make(self) -> TrackArena:
+        return TrackArena(1, 1)
+
+
+class TestBoundaryMmap(_Boundary):
+    def make(self) -> TrackArena:
+        return MmapTrackArena(1, 1)
