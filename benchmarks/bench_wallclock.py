@@ -25,6 +25,12 @@ An in-test floor guards local runs too: ``REPRO_WALLCLOCK_FLOOR``
 (default 1.5) is deliberately far below the committed baseline's ratios —
 wall-clock is fuzzy, the floor only has to catch "fast path silently fell
 back to the reference loop".
+
+The timings double as the telemetry bus's disabled-path perf smoke: the
+bench pins ``REPRO_TRACE`` off and asserts the engines run on the
+zero-cost ``NULL_RECORDER``, so the ``--timing-floor`` gate in CI also
+catches an accidentally always-on bus (its per-event overhead would sink
+the measured speedups).
 """
 
 from __future__ import annotations
@@ -36,12 +42,18 @@ import numpy as np
 import pytest
 
 from repro.cgm.config import MachineConfig
-from repro.em.runner import em_sort
+from repro.em.runner import em_sort, make_engine
 from repro.obs.bench_store import measured_from_report
 from repro.pdm import fastpath
 from repro.util.rng import make_rng
 
 from conftest import print_table
+
+
+@pytest.fixture(autouse=True)
+def _trace_pinned_off(monkeypatch):
+    """Timings gate the untraced path; a stray REPRO_TRACE would skew them."""
+    monkeypatch.delenv("REPRO_TRACE", raising=False)
 
 V, D, B = 8, 2, 16
 REPS = 3
@@ -83,6 +95,12 @@ def test_wallclock_speedup(name, bench_store):
     N, p, engine = CONFIGS[name]
     data = make_rng(0).integers(0, 2**50, N)
     cfg = MachineConfig(N=N, v=V, p=p, D=D, B=B)
+
+    # disabled-path guarantee: the timed engines must see the no-op
+    # recorder — the timing floor below then also gates bus-off overhead
+    assert make_engine(cfg, engine).tracer.enabled is False, (
+        "wall-clock bench must run untraced (is REPRO_TRACE set?)"
+    )
 
     fast_s, fast = _timed_run(data, cfg, engine, enabled=True)
     ref_s, ref = _timed_run(data, cfg, engine, enabled=False)

@@ -448,7 +448,9 @@ class Engine:
             if tr.enabled:
                 tr.emit("superstep_begin", superstep=report.supersteps, round=r)
 
+            t_round = time.perf_counter()
             step = self._execute_round(program, r, rngs)
+            round_wall_s = time.perf_counter() - t_round
 
             rm = RoundMetrics(r)
             rm.messages = step.messages
@@ -472,6 +474,7 @@ class Engine:
                     parallel_ios=rm.io.parallel_ios,
                     blocks=rm.io.blocks_total,
                     width_hist=list(rm.io.width_histogram) or None,
+                    wall_s=round_wall_s,
                 )
             if mx.enabled:
                 mx.counter(

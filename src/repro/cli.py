@@ -121,7 +121,12 @@ def _config(args, n: int | None = None) -> MachineConfig:
 
 
 def _make_tracer(args):
-    """A JsonlRecorder when --trace was given, else None (zero-cost path)."""
+    """An EventBus when --trace was given, else None (zero-cost path).
+
+    The bus is a drop-in JsonlRecorder upgrade: same export paths, plus
+    span threading and the streaming model-conformance monitor, so every
+    ``--trace`` run gets drift detection for free.
+    """
     if getattr(args, "trace", None) is None:
         return None
     try:
@@ -131,9 +136,9 @@ def _make_tracer(args):
             pass
     except OSError as exc:
         raise SystemExit(f"error: cannot write trace to {args.trace!r}: {exc}")
-    from repro.obs.trace import JsonlRecorder
+    from repro.obs.bus import EventBus
 
-    return JsonlRecorder()
+    return EventBus()
 
 
 def _write_trace(args, tracer) -> None:
@@ -406,9 +411,132 @@ def cmd_analyze(args) -> int:
         import json
 
         print(json.dumps(analysis.to_dict(), indent=2, sort_keys=True))
+    elif args.critical_path:
+        print(analysis.render_critical_path(top=args.top))
     else:
         print(analysis.render())
     return 0 if analysis.ok else 1
+
+
+def _print_frame(view, clear: bool) -> None:
+    if clear and sys.stdout.isatty():
+        print("\x1b[2J\x1b[H", end="")
+    print(view.render(), flush=True)
+
+
+def cmd_top(args) -> int:
+    import time
+
+    from repro.obs.live import TopView, iter_jsonl, iter_sse
+
+    if (args.trace is None) == (args.url is None):
+        print("error: give a trace file or --url (exactly one)", file=sys.stderr)
+        return 2
+    view = TopView(window=args.window)
+    if args.url is not None:
+        events = iter_sse(args.url.rstrip("/") + "/events")
+    else:
+        events = iter_jsonl(
+            args.trace, follow=args.follow, idle_timeout_s=args.idle_timeout
+        )
+    last = 0.0
+    try:
+        for ev in events:
+            view.feed(ev)
+            if view.finished:
+                break  # run_end seen; a live SSE stream won't EOF on its own
+            if args.once:
+                continue
+            now = time.monotonic()
+            if now - last >= args.interval:
+                _print_frame(view, clear=True)
+                last = now
+    except KeyboardInterrupt:
+        pass
+    except BrokenPipeError:
+        return _exit_broken_pipe()
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        _print_frame(view, clear=not args.once)
+    except BrokenPipeError:
+        return _exit_broken_pipe()
+    return 0
+
+
+def _exit_broken_pipe() -> int:
+    """Downstream pager/head closed the pipe: not an error.  Point stdout
+    at devnull so the interpreter's exit flush doesn't raise again."""
+    import os
+
+    os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+    return 0
+
+
+def cmd_serve(args) -> int:
+    import signal
+    import threading
+
+    from repro.em.runner import em_sort
+    from repro.obs.bus import EventBus
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.server import ObsServer
+
+    cfg = _config(args)
+    bus = EventBus()
+    registry = MetricsRegistry()
+    try:
+        server = ObsServer(
+            bus=bus, registry=registry, host=args.host, port=args.port
+        ).start()
+    except OSError as exc:
+        print(f"error: cannot bind {args.host}:{args.port}: {exc}", file=sys.stderr)
+        return 2
+
+    stop = threading.Event()
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        signal.signal(sig, lambda signum, frame: stop.set())
+
+    rng = np.random.default_rng(args.seed)
+    data = rng.integers(0, 2**48, args.n)
+    outcome: dict = {}
+
+    def _run() -> None:
+        try:
+            outcome["res"] = em_sort(
+                data, cfg, engine=args.engine, balanced=args.balanced,
+                tracer=bus, metrics=registry,
+            )
+        except Exception as exc:
+            outcome["error"] = exc
+        finally:
+            if args.exit_after_run:
+                stop.set()
+
+    print(
+        f"serving on {server.url}  "
+        f"(metrics: {server.url}/metrics, events: {server.url}/events)",
+        flush=True,
+    )
+    worker = threading.Thread(target=_run, name="repro-serve-run", daemon=True)
+    worker.start()
+    while not stop.is_set():
+        stop.wait(0.5)
+    worker.join(timeout=10.0)
+    server.close()
+    bus.close()
+    err = outcome.get("error")
+    if err is not None:
+        print(f"error: workload failed: {err}", file=sys.stderr)
+        return 1
+    res = outcome.get("res")
+    if res is not None:
+        _report(f"served sort of {args.n} items", res.report, cfg)
+        drifts = sum(1 for ev in bus.events if ev.get("kind") == "model_drift")
+        if drifts:
+            print(f"  model drift      : {drifts} superstep(s) over budget")
+    return 0
 
 
 def _benchmarks_dir(args) -> "str | None":
@@ -553,7 +681,83 @@ def build_parser() -> argparse.ArgumentParser:
         help="constant-factor envelope [pred/C, pred*C] (default: 8)",
     )
     p.add_argument("--json", action="store_true", help="emit JSON instead of tables")
+    p.add_argument(
+        "--critical-path",
+        action="store_true",
+        help="per-superstep comp/I/O/comm attribution with per-worker "
+        "lanes, straggler analysis and the top slowest supersteps",
+    )
+    p.add_argument(
+        "--top",
+        type=int,
+        default=5,
+        metavar="K",
+        help="supersteps listed in the --critical-path slowest table (default 5)",
+    )
     p.set_defaults(fn=cmd_analyze)
+
+    p = sub.add_parser(
+        "top",
+        help="live textual dashboard of a running (or recorded) trace",
+    )
+    p.add_argument(
+        "trace",
+        nargs="?",
+        default=None,
+        help="jsonl trace file (e.g. a REPRO_TRACE=<path> streaming sink)",
+    )
+    p.add_argument(
+        "--url",
+        default=None,
+        help="base URL of a 'repro serve-metrics' endpoint (reads its "
+        "/events SSE stream instead of a file)",
+    )
+    p.add_argument(
+        "--follow",
+        action="store_true",
+        help="tail the trace file as the engine appends to it",
+    )
+    p.add_argument(
+        "--once",
+        action="store_true",
+        help="consume the whole source, print one final frame",
+    )
+    p.add_argument(
+        "--interval",
+        type=float,
+        default=1.0,
+        help="seconds between frame redraws (default 1)",
+    )
+    p.add_argument(
+        "--window", type=int, default=8, help="recent supersteps shown (default 8)"
+    )
+    p.add_argument(
+        "--idle-timeout",
+        type=float,
+        default=None,
+        metavar="S",
+        help="with --follow: stop after S seconds without new events",
+    )
+    p.set_defaults(fn=cmd_top)
+
+    p = sub.add_parser(
+        "serve-metrics",
+        help="run a sort workload with the telemetry bus attached and "
+        "serve live /metrics (Prometheus) and /events (SSE) over HTTP "
+        "until SIGINT/SIGTERM",
+    )
+    _add_machine_args(p)
+    p.add_argument("--host", default="127.0.0.1", help="bind address")
+    p.add_argument(
+        "--port", type=int, default=8765, help="bind port (0 = auto-pick)"
+    )
+    p.add_argument(
+        "--exit-after-run",
+        action="store_true",
+        help="shut down when the workload finishes instead of serving "
+        "until a signal arrives",
+    )
+    p.set_defaults(fn=cmd_serve)
 
     p = sub.add_parser(
         "bench",

@@ -142,7 +142,10 @@ class ParEMEngine(Engine):
         plan is active, plain otherwise (the zero-overhead fast path)."""
         cfg = self.cfg
         if self.faults is None:
-            return DiskArray(cfg.D, cfg.B)
+            # the tracer rides along for storage-level telemetry (the
+            # arena growth events of the out-of-core path); logical I/O
+            # events stay at the engine layer
+            return DiskArray(cfg.D, cfg.B, tracer=self.tracer, real=real)
         return FaultyDiskArray(
             cfg.D, cfg.B, self.faults.injector_for(real), tracer=self.tracer, real=real
         )
@@ -184,9 +187,22 @@ class ParEMEngine(Engine):
         self._prefetch_keys = set(schedule)
 
     def _end_superstep(self) -> None:
-        if self._prefetch is not None:
-            self._prefetch.close()
-            self._prefetch = None
+        reader = self._prefetch
+        if reader is None:
+            return
+        self._prefetch = None
+        reader.close()
+        if self.tracer.enabled:
+            # physical telemetry: how the speculative pipeline serviced
+            # the round's context reads.  Counter *values* may vary run to
+            # run (a gather racing storage growth degrades to a clean
+            # miss), but one event per prefetched round is deterministic.
+            self.tracer.emit(
+                "prefetch",
+                submitted=reader.submitted,
+                hits=reader.hits,
+                misses=reader.misses,
+            )
 
     def _store_context(self, pid: int, ctx: Context) -> None:
         owner = self._owner(pid)

@@ -70,7 +70,16 @@ def make_engine(
     newest snapshot instead of running setup.  When no explicit plan is
     given, the ``REPRO_FAULTS`` environment variable applies one to every
     fault-capable engine (the CI whole-suite injection lane).
+
+    When no *tracer* is passed, the ``REPRO_TRACE`` environment variable
+    can install a live :class:`~repro.obs.bus.EventBus` (a truthy value
+    records in memory; a path value streams JSON lines there) — unset, the
+    default stays the zero-cost :data:`~repro.obs.trace.NULL_RECORDER`.
     """
+    if tracer is None:
+        from repro.obs.bus import bus_from_env
+
+        tracer = bus_from_env()
     if engine is None:
         engine = "seq" if cfg.p == 1 else "par"
     try:

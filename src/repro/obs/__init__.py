@@ -32,8 +32,29 @@ This package makes those claims observable:
 * :mod:`repro.obs.bench_store` — the ``BENCH_<suite>.json`` benchmark
   result store (schema-versioned, env-fingerprinted) and the
   :func:`~repro.obs.bench_store.compare` regression gate.
+* :mod:`repro.obs.bus` — the live telemetry bus: a drop-in
+  :class:`~repro.obs.trace.JsonlRecorder` upgrade with hierarchical span
+  threading, bounded-queue subscribers, synchronous listeners and an
+  optional streaming JSON-lines sink; ``REPRO_TRACE`` installs one as the
+  default engine tracer.
+* :mod:`repro.obs.conformance` — the streaming model-conformance monitor:
+  a bus listener comparing each superstep's measured parallel I/Os
+  against the Theorem 2/3 budget *during* the run, emitting
+  ``model_drift`` the moment a superstep exceeds it.
+* :mod:`repro.obs.live` — ``repro top``: an incremental run dashboard
+  fed from a trace file (optionally tailed) or an SSE stream.
+* :mod:`repro.obs.server` — ``repro serve-metrics``: a stdlib HTTP
+  endpoint serving live Prometheus ``/metrics`` and an SSE ``/events``
+  stream of the bus.
 """
 
+from repro.obs.bus import (
+    NULL_BUS,
+    EventBus,
+    NullBus,
+    Subscription,
+    bus_from_env,
+)
 from repro.obs.chrome import to_chrome_events, write_chrome_trace
 from repro.obs.metrics import (
     NULL_REGISTRY,
@@ -47,9 +68,10 @@ from repro.obs.trace import (
     TraceRecorder,
 )
 
-# costcheck/histograms/analyze/bench_store pull in the engine stack; the
-# engines import repro.obs.{trace,metrics} — import these lazily to keep
-# the package cycle-free.
+# costcheck/histograms/analyze/bench_store/conformance pull in the engine
+# stack; the engines import repro.obs.{trace,metrics,bus} — import these
+# lazily to keep the package cycle-free.  live/server are lazy to keep the
+# urllib/http.server machinery out of engine runs that never serve.
 _LAZY = {
     "CostCheck": "repro.obs.costcheck",
     "CostCrossCheck": "repro.obs.costcheck",
@@ -61,6 +83,11 @@ _LAZY = {
     "BenchStore": "repro.obs.bench_store",
     "compare": "repro.obs.bench_store",
     "load": "repro.obs.bench_store",
+    "ConformanceMonitor": "repro.obs.conformance",
+    "TopView": "repro.obs.live",
+    "iter_jsonl": "repro.obs.live",
+    "iter_sse": "repro.obs.live",
+    "ObsServer": "repro.obs.server",
 }
 
 
@@ -92,4 +119,14 @@ __all__ = [
     "BenchStore",
     "compare",
     "load",
+    "EventBus",
+    "NullBus",
+    "Subscription",
+    "NULL_BUS",
+    "bus_from_env",
+    "ConformanceMonitor",
+    "TopView",
+    "iter_jsonl",
+    "iter_sse",
+    "ObsServer",
 ]

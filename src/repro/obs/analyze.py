@@ -49,7 +49,12 @@ class SuperstepAgg:
     compute_s: float = 0.0          #: critical path (max over real procs)
     compute_sum_s: float = 0.0      #: summed callback wall time
     critical_real: int = 0
+    round_wall_s: float = 0.0       #: measured wall time of the whole round
+    drift: bool = False             #: a model_drift event flagged this round
     per_real_wall: dict[int, float] = field(default_factory=dict)
+    per_real_ctx: dict[int, int] = field(default_factory=dict)
+    per_real_msg: dict[int, int] = field(default_factory=dict)
+    per_real_net: dict[int, int] = field(default_factory=dict)
     width_hist: list[int] = field(default_factory=list)
     predicted_ios: float | None = None
     io_lo: float | None = None
@@ -82,6 +87,21 @@ class TraceAnalysis:
     rows: list[SuperstepAgg] = field(default_factory=list)
     setup_events: int = 0           #: events before the first superstep_begin
     total_events: int = 0
+    #: run_end's whole-run counters (None for truncated traces)
+    total_parallel_ios: int | None = None
+    run_supersteps: int | None = None
+    #: real processor -> OS worker, from worker-tagged events
+    real_worker: dict[int, int] = field(default_factory=dict)
+    #: out-of-core telemetry (arena_grow / prefetch events)
+    arena_grows: int = 0
+    arena_resident_peak: int = 0
+    arena_spill_peak: int = 0
+    arena_backend: str | None = None
+    prefetch_submitted: int = 0
+    prefetch_hits: int = 0
+    prefetch_misses: int = 0
+    #: model_drift events the streaming conformance monitor emitted
+    drift_count: int = 0
 
     # -- verdicts -------------------------------------------------------------
 
@@ -110,6 +130,181 @@ class TraceAnalysis:
         # which is not seconds — report item count * 1e-6 s/item equivalent
         return row.net_items * 1e-6
 
+    # -- critical path --------------------------------------------------------
+
+    def lane_label(self, real: int) -> str:
+        """``rN`` for real processor N, ``rN/wM`` when worker-tagged."""
+        w = self.real_worker.get(real)
+        return f"r{real}" if w is None else f"r{real}/w{w}"
+
+    def lane_seconds(self, row: SuperstepAgg) -> dict[int, float]:
+        """Per-real-processor lane time for one superstep group.
+
+        Measured compute wall time plus modeled I/O time (the lane's
+        context+message blocks at full-D parallelism) plus modeled network
+        time — the same attribution the aggregate columns use, resolved
+        per lane so stragglers are visible.
+        """
+        from repro.pdm.io_stats import DiskServiceModel
+
+        unit = DiskServiceModel().parallel_io_time(int(self.machine.get("B") or 64))
+        D = max(1, int(self.machine.get("D") or 1))
+        reals = (
+            set(row.per_real_wall)
+            | set(row.per_real_ctx)
+            | set(row.per_real_msg)
+            | set(row.per_real_net)
+        )
+        lanes: dict[int, float] = {}
+        for real in sorted(reals):
+            blocks = row.per_real_ctx.get(real, 0) + row.per_real_msg.get(real, 0)
+            lanes[real] = (
+                row.per_real_wall.get(real, 0.0)
+                + (blocks / D) * unit
+                + row.per_real_net.get(real, 0) * 1e-6
+            )
+        return lanes
+
+    def critical_path(self, top: int = 5) -> dict[str, Any]:
+        """Comm/comp/I/O attribution, stragglers, and top-K slowest rounds.
+
+        The totals tie out bit-identically to the run's ``IOStats``: the
+        per-superstep ``parallel_ios`` counters plus the setup/teardown
+        I/O issued outside superstep groups sum to ``run_end``'s
+        whole-run counter.
+        """
+        rows: list[dict[str, Any]] = []
+        for r in self.rows:
+            lanes = self.lane_seconds(r)
+            if lanes:
+                crit_real = max(lanes.items(), key=lambda kv: kv[1])[0]
+                crit_s = lanes[crit_real]
+                mean = sum(lanes.values()) / len(lanes)
+                straggler = crit_s / mean if mean > 0 else 1.0
+            else:
+                crit_real, crit_s, straggler = 0, 0.0, 1.0
+            rows.append(
+                {
+                    "round": r.round,
+                    "superstep": r.superstep,
+                    "parallel_ios": r.parallel_ios,
+                    "comp_s": r.compute_s,
+                    "io_s": self._io_time(r),
+                    "comm_s": self._net_time(r),
+                    "wall_s": r.round_wall_s,
+                    "critical_real": crit_real,
+                    "critical_lane": self.lane_label(crit_real),
+                    "critical_lane_s": crit_s,
+                    "straggler": straggler,
+                    "lanes": {self.lane_label(k): v for k, v in lanes.items()},
+                    "drift": r.drift,
+                }
+            )
+        slowest = sorted(
+            rows,
+            key=lambda d: (d["wall_s"] or d["critical_lane_s"], d["parallel_ios"]),
+            reverse=True,
+        )[: max(0, top)]
+        superstep_ios = sum(r.parallel_ios for r in self.rows)
+        total = self.total_parallel_ios
+        lane_totals: dict[int, dict[str, Any]] = {}
+
+        def _lane_total(real: int) -> dict[str, Any]:
+            return lane_totals.setdefault(
+                real,
+                {"comp_s": 0.0, "ctx_blocks": 0, "msg_blocks": 0, "net_items": 0},
+            )
+
+        for r in self.rows:
+            for real, wall in r.per_real_wall.items():
+                _lane_total(real)["comp_s"] += wall
+            for real, blk in r.per_real_ctx.items():
+                _lane_total(real)["ctx_blocks"] += blk
+            for real, blk in r.per_real_msg.items():
+                _lane_total(real)["msg_blocks"] += blk
+            for real, items in r.per_real_net.items():
+                _lane_total(real)["net_items"] += items
+        return {
+            "rows": rows,
+            "slowest": [d["round"] for d in slowest],
+            "lanes": {self.lane_label(k): v for k, v in sorted(lane_totals.items())},
+            "totals": {
+                "superstep_parallel_ios": superstep_ios,
+                "setup_parallel_ios": (
+                    None if total is None else total - superstep_ios
+                ),
+                "run_parallel_ios": total,
+            },
+            "drift_count": self.drift_count,
+        }
+
+    def render_critical_path(self, top: int = 5) -> str:
+        cp = self.critical_path(top=top)
+        head = (
+            f"critical path: engine={self.engine} program={self.program} "
+            f"({len(self.rows)} superstep group(s))"
+        )
+        rows = []
+        for d in cp["rows"]:
+            rows.append(
+                [
+                    d["round"],
+                    d["parallel_ios"],
+                    f"{d['comp_s'] * 1e3:.2f}",
+                    f"{d['io_s'] * 1e3:.1f}",
+                    f"{d['comm_s'] * 1e3:.2f}",
+                    f"{d['wall_s'] * 1e3:.1f}",
+                    d["critical_lane"],
+                    f"{d['straggler']:.2f}x",
+                    "DRIFT" if d["drift"] else "",
+                ]
+            )
+        table = format_table(
+            "per-superstep comm/comp/I/O attribution (modeled io*, measured comp/wall)",
+            ["round", "par-I/Os", "comp ms", "io ms*", "comm ms", "wall ms",
+             "crit lane", "strag", "drift"],
+            rows,
+        )
+        lane_rows = [
+            [label, f"{lt['comp_s'] * 1e3:.2f}", lt["ctx_blocks"],
+             lt["msg_blocks"], lt["net_items"]]
+            for label, lt in cp["lanes"].items()
+        ]
+        lanes_table = format_table(
+            "per-lane totals (rN = real processor, wM = OS worker)",
+            ["lane", "comp ms", "ctx blk", "msg blk", "net items"],
+            lane_rows,
+        )
+        foot = []
+        if cp["slowest"]:
+            foot.append(
+                "top-%d slowest rounds (by measured wall): %s"
+                % (len(cp["slowest"]),
+                   ", ".join(str(r) for r in cp["slowest"]))
+            )
+        t = cp["totals"]
+        if t["run_parallel_ios"] is not None:
+            foot.append(
+                f"totals: {t['superstep_parallel_ios']} parallel I/Os in "
+                f"supersteps + {t['setup_parallel_ios']} in setup/teardown "
+                f"= {t['run_parallel_ios']} (IOStats run total)"
+            )
+        else:
+            foot.append(
+                f"totals: {t['superstep_parallel_ios']} parallel I/Os in "
+                "supersteps (truncated trace: no run_end counter)"
+            )
+        if cp["drift_count"]:
+            foot.append(
+                f"model drift: {cp['drift_count']} superstep(s) exceeded the "
+                "Theorem 2/3 parallel-I/O budget during the run"
+            )
+        foot.append(
+            "* io/comm modeled (DiskServiceModel / 1e-6 s per item); "
+            "comp and wall are measured"
+        )
+        return head + "\n\n" + table + "\n" + lanes_table + "\n" + "\n".join(foot)
+
     # -- export ---------------------------------------------------------------
 
     def to_dict(self) -> dict[str, Any]:
@@ -121,6 +316,21 @@ class TraceAnalysis:
             "envelope_c": self.envelope_c,
             "ok": self.ok,
             "violations": len(self.violations()),
+            "total_parallel_ios": self.total_parallel_ios,
+            "drift_count": self.drift_count,
+            "real_worker": {str(k): v for k, v in sorted(self.real_worker.items())},
+            "arena": {
+                "grows": self.arena_grows,
+                "resident_peak_nbytes": self.arena_resident_peak,
+                "spill_peak_nbytes": self.arena_spill_peak,
+                "backend": self.arena_backend,
+            },
+            "prefetch": {
+                "submitted": self.prefetch_submitted,
+                "hits": self.prefetch_hits,
+                "misses": self.prefetch_misses,
+            },
+            "critical_path": self.critical_path(),
             "supersteps": [
                 {
                     "round": r.round,
@@ -195,6 +405,23 @@ class TraceAnalysis:
             f"{sum(r.net_items for r in self.rows)} network items",
             "* modeled on 1998-class disks (DiskServiceModel); compute is measured",
         ]
+        if self.arena_grows:
+            foot.append(
+                f"out-of-core: {self.arena_grows} arena grow(s) "
+                f"[{self.arena_backend or 'ram'}], resident peak "
+                f"{self.arena_resident_peak / 1e6:.1f} MB, spill peak "
+                f"{self.arena_spill_peak / 1e6:.1f} MB"
+            )
+        if self.prefetch_submitted:
+            foot.append(
+                f"prefetch: {self.prefetch_submitted} submitted, "
+                f"{self.prefetch_hits} hit(s), {self.prefetch_misses} miss(es)"
+            )
+        if self.drift_count:
+            foot.append(
+                f"model drift: {self.drift_count} live budget violation(s) "
+                "flagged by the streaming conformance monitor"
+            )
         if self.is_em:
             nviol = len(self.violations())
             foot.append(
@@ -244,24 +471,60 @@ def analyze_events(
             cur.blocks = int(ev.get("blocks", 0) or 0)
             cur.h_in = int(ev.get("h_in", 0) or 0)
             cur.h_out = int(ev.get("h_out", 0) or 0)
+            cur.round_wall_s = float(ev.get("wall_s", 0.0) or 0.0)
             wh = ev.get("width_hist")
             if isinstance(wh, list):
                 cur.width_hist = [int(x) for x in wh]
             if cur.per_real_wall:
-                cur.critical_real = max(cur.per_real_wall, key=cur.per_real_wall.get)
+                cur.critical_real = max(
+                    cur.per_real_wall.items(), key=lambda kv: kv[1]
+                )[0]
                 cur.compute_s = cur.per_real_wall[cur.critical_real]
             out.rows.append(cur)
             cur = None
+        elif kind == "run_end":
+            out.total_parallel_ios = int(ev.get("parallel_ios", 0) or 0)
+            out.run_supersteps = int(ev.get("supersteps", 0) or 0)
+        elif kind == "model_drift":
+            # emitted in-stream by the conformance monitor, sequenced just
+            # after the superstep_end it reacted to
+            out.drift_count += 1
+            if out.rows:
+                out.rows[-1].drift = True
+        elif kind == "arena_grow":
+            out.arena_grows += 1
+            out.arena_resident_peak = max(
+                out.arena_resident_peak, int(ev.get("resident_nbytes", 0) or 0)
+            )
+            out.arena_spill_peak = max(
+                out.arena_spill_peak, int(ev.get("spill_nbytes", 0) or 0)
+            )
+            backend = ev.get("backend")
+            if backend:
+                out.arena_backend = str(backend)
+        elif kind == "prefetch":
+            out.prefetch_submitted += int(ev.get("submitted", 0) or 0)
+            out.prefetch_hits += int(ev.get("hits", 0) or 0)
+            out.prefetch_misses += int(ev.get("misses", 0) or 0)
         elif cur is not None:
+            real = int(ev.get("real", ev.get("src_real", 0)) or 0)
+            worker = ev.get("worker")
+            if worker is not None:
+                out.real_worker[real] = int(worker)
             if kind in ("context_read", "context_write"):
-                cur.ctx_blocks += int(ev.get("blocks", 0) or 0)
+                blocks = int(ev.get("blocks", 0) or 0)
+                cur.ctx_blocks += blocks
+                cur.per_real_ctx[real] = cur.per_real_ctx.get(real, 0) + blocks
             elif kind in ("message_read", "message_write"):
-                cur.msg_blocks += int(ev.get("blocks", 0) or 0)
+                blocks = int(ev.get("blocks", 0) or 0)
+                cur.msg_blocks += blocks
+                cur.per_real_msg[real] = cur.per_real_msg.get(real, 0) + blocks
             elif kind == "network_transfer":
-                cur.net_items += int(ev.get("items", 0) or 0)
+                items = int(ev.get("items", 0) or 0)
+                cur.net_items += items
                 cur.net_events += 1
+                cur.per_real_net[real] = cur.per_real_net.get(real, 0) + items
             elif kind == "compute_round":
-                real = int(ev.get("real", 0) or 0)
                 wall = float(ev.get("wall_s", 0.0) or 0.0)
                 cur.per_real_wall[real] = cur.per_real_wall.get(real, 0.0) + wall
                 cur.compute_sum_s += wall

@@ -7,11 +7,21 @@ the Chrome trace-event format (the JSON-array flavour), loadable in
 Mapping:
 
 * ``superstep_begin``/``superstep_end`` become ``B``/``E`` duration pairs
-  on a dedicated "superstep" track (tid 0) of each real processor;
+  on a dedicated "superstep" track (tid 0);
+* ``span_begin``/``span_end`` (the telemetry bus's explicit spans) become
+  ``B``/``E`` pairs on the same track, nesting inside their superstep;
 * ``compute_round`` becomes a complete ``X`` event whose duration is the
   measured callback wall time, on the virtual processor's own track;
-* context/message/network events become instant ``i`` events carrying
-  their tags in ``args``.
+* context/message/network/prefetch/arena/drift events become instant
+  ``i`` events carrying their tags in ``args``.
+
+Lane assignment: single-process traces use one Chrome *process* per real
+processor (``pid = real``), as before.  Traces from the multi-process
+backend carry ``worker`` tags (see :func:`repro.obs.trace.replay_events`)
+and get one Chrome process lane per OS worker — ``pid = 1 + worker``,
+with the coordinator's own events (superstep boundaries, checkpoints) on
+``pid 0`` — plus ``process_name`` metadata so the viewer labels the
+lanes, instead of collapsing every worker into one unreadable track.
 
 Timestamps are microseconds (the format's unit), taken from each event's
 ``ts`` field.
@@ -31,11 +41,22 @@ _INSTANT_KINDS = {
     "network_transfer",
     "run_begin",
     "run_end",
+    "prefetch",
+    "arena_grow",
+    "model_drift",
 }
 
 
 def _us(ev: dict[str, Any]) -> float:
     return float(ev.get("ts", 0.0)) * 1e6
+
+
+def _cat(kind: str) -> str:
+    if "message" in kind or "context" in kind or kind in ("prefetch", "arena_grow"):
+        return "io"
+    if kind == "model_drift":
+        return "model"
+    return "net"
 
 
 def to_chrome_events(events: list[dict[str, Any]]) -> list[dict[str, Any]]:
@@ -49,39 +70,62 @@ def to_chrome_events(events: list[dict[str, Any]]) -> list[dict[str, Any]]:
     """
     events = sorted(events, key=_us)
     last_ts = _us(events[-1]) if events else 0.0
-    open_supersteps: list[dict[str, Any]] = []
+    worker_mode = any("worker" in ev for ev in events)
+    lanes: dict[int, str] = {}
+
+    def _lane(ev: dict[str, Any]) -> int:
+        if worker_mode:
+            w = ev.get("worker")
+            if w is not None:
+                pid = 1 + int(w)
+                lanes.setdefault(pid, f"worker {int(w)}")
+                return pid
+            lanes.setdefault(0, "coordinator")
+            return 0
+        return int(ev.get("real", ev.get("src_real", 0)) or 0)
+
+    open_begins: list[dict[str, Any]] = []
     out: list[dict[str, Any]] = []
     for ev in events:
         kind = ev["kind"]
         ts = _us(ev)
-        pid = int(ev.get("real", ev.get("src_real", 0)) or 0)
         args = {
             k: v
             for k, v in ev.items()
             if k not in ("kind", "ts", "seq") and v is not None
         }
-        if kind == "superstep_begin":
+        if kind in ("superstep_begin", "span_begin"):
+            name = (
+                f"superstep {ev.get('superstep', '?')}"
+                if kind == "superstep_begin"
+                else str(ev.get("name", "span"))
+            )
             begin = {
-                "name": f"superstep {ev.get('superstep', '?')}",
-                "cat": "superstep",
+                "name": name,
+                "cat": "superstep" if kind == "superstep_begin" else "span",
                 "ph": "B",
                 "ts": ts,
-                "pid": pid,
+                "pid": _lane(ev),
                 "tid": 0,
                 "args": args,
             }
             out.append(begin)
-            open_supersteps.append(begin)
-        elif kind == "superstep_end":
-            if open_supersteps:
-                open_supersteps.pop()
+            open_begins.append(begin)
+        elif kind in ("superstep_end", "span_end"):
+            if open_begins:
+                open_begins.pop()
+            name = (
+                f"superstep {ev.get('superstep', '?')}"
+                if kind == "superstep_end"
+                else str(ev.get("name", "span"))
+            )
             out.append(
                 {
-                    "name": f"superstep {ev.get('superstep', '?')}",
-                    "cat": "superstep",
+                    "name": name,
+                    "cat": "superstep" if kind == "superstep_end" else "span",
                     "ph": "E",
                     "ts": ts,
-                    "pid": pid,
+                    "pid": _lane(ev),
                     "tid": 0,
                     "args": args,
                 }
@@ -95,32 +139,36 @@ def to_chrome_events(events: list[dict[str, Any]]) -> list[dict[str, Any]]:
                     "ph": "X",
                     "ts": max(0.0, ts - dur),
                     "dur": dur,
-                    "pid": pid,
+                    "pid": _lane(ev),
                     "tid": 1 + int(ev.get("pid", 0)),
                     "args": args,
                 }
             )
         elif kind in _INSTANT_KINDS:
-            tid = 1 + int(ev.get("pid", ev.get("dest", 0)) or 0)
+            tid = (
+                0
+                if kind == "model_drift"
+                else 1 + int(ev.get("pid", ev.get("dest", 0)) or 0)
+            )
             out.append(
                 {
                     "name": kind,
-                    "cat": "io" if "message" in kind or "context" in kind else "net",
+                    "cat": _cat(kind),
                     "ph": "i",
                     "s": "t",
                     "ts": ts,
-                    "pid": pid,
+                    "pid": _lane(ev),
                     "tid": tid,
                     "args": args,
                 }
             )
         # unknown kinds are dropped rather than emitting invalid phases
     # auto-close dangling begins, innermost first (E events pair LIFO)
-    for begin in reversed(open_supersteps):
+    for begin in reversed(open_begins):
         out.append(
             {
                 "name": begin["name"],
-                "cat": "superstep",
+                "cat": begin["cat"],
                 "ph": "E",
                 "ts": max(last_ts, begin["ts"]),
                 "pid": begin["pid"],
@@ -128,6 +176,21 @@ def to_chrome_events(events: list[dict[str, Any]]) -> list[dict[str, Any]]:
                 "args": {"auto_closed": True},
             }
         )
+    if worker_mode and lanes:
+        # name the per-worker process lanes; prepended so out[-1] stays
+        # the trace's final real event (auto-closer included)
+        meta = [
+            {
+                "name": "process_name",
+                "ph": "M",
+                "ts": 0.0,
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": label},
+            }
+            for pid, label in sorted(lanes.items())
+        ]
+        out = meta + out
     return out
 
 

@@ -1,0 +1,206 @@
+"""``repro serve-metrics``: a stdlib HTTP endpoint for live runs.
+
+The first concrete brick of the ROADMAP's simulation-as-a-service item:
+a small :mod:`http.server`-based endpoint (no dependencies) exposing a
+running simulation's telemetry:
+
+* ``GET /metrics`` — the :class:`~repro.obs.metrics.MetricsRegistry` in
+  Prometheus text exposition format (0.0.4), scrape-ready;
+* ``GET /events`` — a Server-Sent-Events stream of the
+  :class:`~repro.obs.bus.EventBus`: buffered events are replayed first
+  (``?replay=0`` to skip), then live events follow as they are emitted.
+  Each frame carries the event's ``seq`` as the SSE ``id``, so gaps from
+  the bus's drop-oldest backpressure are detectable client-side;
+* ``GET /healthz`` — liveness plus event/subscriber counts.
+
+The server runs on daemon threads (:class:`ThreadingHTTPServer`) and
+never blocks the simulation: SSE clients consume through a bounded
+:class:`~repro.obs.bus.Subscription`.  :meth:`ObsServer.close` wakes
+streaming handlers (their subscriptions close and a poll flag flips) and
+shuts the listener down cleanly.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+from urllib.parse import parse_qs, urlparse
+
+from repro.obs.bus import EventBus
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import _jsonable
+
+#: seconds an idle SSE stream waits between keepalive comments; short so
+#: close() is observed promptly even without traffic.
+_SSE_POLL_S = 0.5
+#: one keepalive comment roughly every this many idle polls.
+_SSE_KEEPALIVE_POLLS = 10
+
+
+class _ObsHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer carrying the bus/registry for its handlers."""
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        addr: tuple[str, int],
+        bus: "EventBus | None",
+        registry: "MetricsRegistry | None",
+    ) -> None:
+        super().__init__(addr, _Handler)
+        self.obs_bus = bus
+        self.obs_registry = registry
+        self.obs_closing = threading.Event()
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server: _ObsHTTPServer
+
+    # CI smoke and tests scrape repeatedly; default request logging would
+    # drown the run's own output
+    def log_message(self, format: str, *args: Any) -> None:
+        pass
+
+    def _text(self, code: int, body: str, content_type: str) -> None:
+        payload = body.encode("utf-8")
+        self.send_response(code)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        url = urlparse(self.path)
+        try:
+            if url.path == "/metrics":
+                self._metrics()
+            elif url.path == "/events":
+                self._events(parse_qs(url.query))
+            elif url.path in ("/", "/healthz"):
+                self._healthz()
+            else:
+                self._text(404, "not found\n", "text/plain; charset=utf-8")
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # client went away mid-response; nothing to salvage
+
+    def _metrics(self) -> None:
+        registry = self.server.obs_registry
+        if registry is None:
+            self._text(503, "no metrics registry attached\n",
+                       "text/plain; charset=utf-8")
+            return
+        self._text(
+            200, registry.render_prometheus(),
+            "text/plain; version=0.0.4; charset=utf-8",
+        )
+
+    def _healthz(self) -> None:
+        bus = self.server.obs_bus
+        body = json.dumps(
+            {
+                "status": "ok",
+                "events": len(bus.events) if bus is not None else 0,
+                "subscribers": bus.subscriptions if bus is not None else 0,
+            }
+        )
+        self._text(200, body + "\n", "application/json")
+
+    def _events(self, query: dict[str, list[str]]) -> None:
+        bus = self.server.obs_bus
+        if bus is None:
+            self._text(503, "no event bus attached\n",
+                       "text/plain; charset=utf-8")
+            return
+        replay = query.get("replay", ["1"])[0] not in ("0", "false", "no")
+        # subscribe *before* snapshotting the buffer so no event falls in
+        # the gap; the seq guard below drops any overlap
+        sub = bus.subscribe()
+        try:
+            self.send_response(200)
+            self.send_header("Content-Type", "text/event-stream")
+            self.send_header("Cache-Control", "no-store")
+            self.send_header("Connection", "close")
+            self.end_headers()
+            last_seq = -1
+            if replay:
+                for ev in list(bus.events):
+                    self._frame(ev)
+                    last_seq = int(ev.get("seq", last_seq))
+            idle = 0
+            while not self.server.obs_closing.is_set():
+                ev = sub.get(timeout=_SSE_POLL_S)
+                if ev is None:
+                    if sub.closed:
+                        self.wfile.write(b"event: end\ndata: {}\n\n")
+                        self.wfile.flush()
+                        return
+                    idle += 1
+                    if idle >= _SSE_KEEPALIVE_POLLS:
+                        # comment frame: keeps proxies open, detects a
+                        # dead client via the raised BrokenPipeError
+                        self.wfile.write(b": keepalive\n\n")
+                        self.wfile.flush()
+                        idle = 0
+                    continue
+                idle = 0
+                if int(ev.get("seq", -1)) <= last_seq:
+                    continue  # already replayed from the buffer
+                self._frame(ev)
+        finally:
+            sub.close()
+
+    def _frame(self, ev: dict[str, Any]) -> None:
+        data = json.dumps(ev, default=_jsonable)
+        self.wfile.write(
+            f"id: {ev.get('seq', 0)}\nevent: trace\ndata: {data}\n\n".encode()
+        )
+        self.wfile.flush()
+
+
+class ObsServer:
+    """The live-telemetry HTTP endpoint; see the module docstring.
+
+    ``port=0`` (the default) picks a free port — read :attr:`port` /
+    :attr:`url` after construction.
+    """
+
+    def __init__(
+        self,
+        bus: "EventBus | None" = None,
+        registry: "MetricsRegistry | None" = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.bus = bus
+        self.registry = registry
+        self._httpd = _ObsHTTPServer((host, port), bus, registry)
+        self.host = self._httpd.server_address[0]
+        self.port = int(self._httpd.server_address[1])
+        self._thread: "threading.Thread | None" = None
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "ObsServer":
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-obs-http",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def close(self) -> None:
+        """Stop serving: wake SSE streams, shut the listener down (idempotent)."""
+        if self._httpd.obs_closing.is_set():
+            return
+        self._httpd.obs_closing.set()
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None

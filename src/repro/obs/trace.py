@@ -21,6 +21,13 @@ kind               tags
 ``checkpoint``     round, finished, path
 ``resume``         round, finished, path
 ``worker_redispatch`` round, dead_workers, restart, from_round
+``span_begin``     name, free-form tags (see :meth:`TraceRecorder.span`)
+``span_end``       name
+``prefetch``       submitted, hits, misses (one per prefetched superstep)
+``arena_grow``     real, disk, tracks, nbytes, resident_nbytes,
+                   spill_nbytes, backend
+``model_drift``    round, superstep, parallel_ios, predicted_ios, budget,
+                   envelope_c
 ================== ======================================================
 
 ``layout`` is the disk format the blocks moved through: ``"consecutive"``
@@ -29,7 +36,16 @@ or ``"paged"`` (the VM baseline's 4 KB pager).  Events recorded inside a
 worker process of the multi-core backend are replayed on the coordinator's
 recorder with an extra ``worker`` tag (see :func:`replay_events`).
 
-The last five kinds come from the resilience subsystem
+``prefetch`` and ``arena_grow`` are *physical* events: they describe how
+the fast path serviced the logical I/O (speculative reads, storage
+growth), so their presence depends on ``REPRO_FASTPATH``/``REPRO_ARENA``
+/``REPRO_PREFETCH`` — like ``io_fault``, they are excluded from
+cross-backend trace-identity comparisons.  ``span_*`` and ``model_drift``
+are produced by the live telemetry bus (:mod:`repro.obs.bus`), which
+additionally threads hierarchical ``span``/``parent`` ids through every
+``*_begin``/``*_end`` pair it sees.
+
+The ``io_fault`` .. ``worker_redispatch`` kinds come from the resilience subsystem
 (:mod:`repro.faults`): ``io_fault`` marks one injected single-track
 failure (``fault`` is the injected kind, ``attempt`` the retry ordinal),
 ``disk_dead`` a permanent disk loss and its block migration,
@@ -45,7 +61,8 @@ from __future__ import annotations
 
 import json
 import time
-from typing import Any, TextIO
+from contextlib import contextmanager
+from typing import Any, Iterator, TextIO
 
 
 class TraceRecorder:
@@ -56,6 +73,25 @@ class TraceRecorder:
 
     def emit(self, kind: str, **tags: Any) -> None:
         raise NotImplementedError
+
+    @contextmanager
+    def span(self, name: str, **tags: Any) -> Iterator[None]:
+        """Emit a ``span_begin``/``span_end`` pair around a code region.
+
+        Disabled recorders skip both emissions, so instrumentation can
+        wrap hot paths without its own ``enabled`` guard (the context
+        manager itself still allocates — guard manually in the hottest
+        loops).  The :class:`~repro.obs.bus.EventBus` threads hierarchical
+        span ids through the pair; plain recorders just record the events.
+        """
+        if not self.enabled:
+            yield
+            return
+        self.emit("span_begin", name=name, **tags)
+        try:
+            yield
+        finally:
+            self.emit("span_end", name=name)
 
     def close(self) -> None:  # pragma: no cover - trivial default
         """Flush any buffered output (no-op for in-memory recorders)."""

@@ -32,6 +32,8 @@ operation, invariant and snapshot shape is shared.
 
 from __future__ import annotations
 
+from typing import Callable
+
 import numpy as np
 
 #: Tracks at or beyond this index live in the side dict: growing the arena
@@ -44,11 +46,15 @@ _INITIAL_ROWS = 64
 class TrackArena:
     """Dense track storage for the ``D`` disks of one array."""
 
-    __slots__ = ("D", "block_bytes", "_data", "_used", "_nbytes", "_side")
+    __slots__ = ("D", "block_bytes", "_data", "_used", "_nbytes", "_side", "on_grow")
 
     def __init__(self, D: int, block_bytes: int) -> None:
         self.D = D
         self.block_bytes = block_bytes
+        #: optional observer called as ``on_grow(disk, cap)`` after one
+        #: disk's track matrix grew (telemetry hook; never pickled — the
+        #: owner re-attaches it when rebuilding an arena)
+        self.on_grow: "Callable[[int, int], None] | None" = None
         self._data: list[np.ndarray] = [
             np.zeros((0, block_bytes), dtype=np.uint8) for _ in range(D)
         ]
@@ -72,6 +78,8 @@ class TrackArena:
         nbytes[:have] = self._nbytes[disk]
         self._used[disk] = used
         self._nbytes[disk] = nbytes
+        if self.on_grow is not None:
+            self.on_grow(disk, cap)
 
     def _grow_data(self, disk: int, cap: int, have: int) -> None:
         """Grow one disk's track matrix to *cap* rows, preserving the

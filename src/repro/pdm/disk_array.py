@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import bisect
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import TYPE_CHECKING, Iterable, Sequence
 
 import numpy as np
 
@@ -37,6 +37,9 @@ from repro.pdm.mmap_arena import make_arena
 from repro.pdm.io_stats import IOStats
 from repro.util.items import ITEM_BYTES
 from repro.util.validation import SimulationError, require
+
+if TYPE_CHECKING:  # pragma: no cover - layering: pdm stays engine-free
+    from repro.obs.trace import TraceRecorder
 
 #: One fast-path write/read segment: parallel arrays of disk and track
 #: indices plus the run of blocks addressed by them.
@@ -111,17 +114,42 @@ def greedy_batch_widths(disks: np.ndarray, D: int) -> tuple[int, np.ndarray]:
 class DiskArray:
     """D simulated disks owned by one (real) processor."""
 
-    def __init__(self, D: int, B: int) -> None:
+    def __init__(
+        self, D: int, B: int, tracer: "TraceRecorder | None" = None, real: int = 0
+    ) -> None:
         require(D >= 1, f"need at least one disk, got D={D}")
         require(B >= 1, f"block size must be positive, got B={B}")
         self.D = D
         self.B = B
         self.block_bytes = B * ITEM_BYTES
+        self._tracer = tracer
+        self._real = int(real)
         self._arena: TrackArena | None = (
             make_arena(D, self.block_bytes) if self._use_fastpath_storage() else None
         )
+        if self._arena is not None and tracer is not None and tracer.enabled:
+            # storage telemetry: growth happens on the engine thread only
+            # (scatters/writes; speculative gathers never grow), so the
+            # callback emits without synchronization
+            self._arena.on_grow = self._record_arena_grow
         self.disks = [Disk(d, arena=self._arena) for d in range(D)]
         self.stats = IOStats(D=D)
+
+    def _record_arena_grow(self, disk: int, cap: int) -> None:
+        """Arena growth callback -> one ``arena_grow`` trace event."""
+        arena, tracer = self._arena, self._tracer
+        if arena is None or tracer is None:
+            return
+        tracer.emit(
+            "arena_grow",
+            real=self._real,
+            disk=disk,
+            tracks=cap,
+            nbytes=cap * self.block_bytes,
+            resident_nbytes=arena.resident_nbytes(),
+            spill_nbytes=arena.spill_nbytes(),
+            backend="mmap" if getattr(arena, "spill_dir", None) else "ram",
+        )
 
     def _use_fastpath_storage(self) -> bool:
         """Whether to back the disks with a shared arena.

@@ -94,6 +94,12 @@ class DoubleBufferedReader:
         if depth < 1:
             raise ValueError(f"prefetch depth must be >= 1, got {depth}")
         self.depth = depth
+        #: consumer-side telemetry (counted in :meth:`get`, on the calling
+        #: thread, so reads are race-free): a *hit* consumed a speculative
+        #: gather, a *miss* fell back to the accounted synchronous read.
+        self.submitted = 0
+        self.hits = 0
+        self.misses = 0
         self._pool = BufferPool(max_buffers=max_buffers)
         self._slots = threading.Semaphore(depth)
         self._requests: deque[_Request | None] = deque()
@@ -140,6 +146,7 @@ class DoubleBufferedReader:
         if self._closed:
             raise RuntimeError("submit() on a closed DoubleBufferedReader")
         req = _Request(array, disks, tracks, key)
+        self.submitted += 1
         self._pending.append(req)
         self._requests.append(req)
         self._have_work.release()
@@ -168,8 +175,13 @@ class DoubleBufferedReader:
         buf = req.buf
         if buf is None:
             # cancelled by a racing close(); serve synchronously
+            self.misses += 1
             flat = req.array.read_run(req.disks, req.tracks)
             return flat, None
+        if req.hit:
+            self.hits += 1
+        else:
+            self.misses += 1
         flat = req.array.finish_read(req.disks, req.tracks, buf, req.hit)
         return flat, buf
 

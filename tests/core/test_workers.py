@@ -132,13 +132,18 @@ class TestTraces:
         # physical fault events (the REPRO_FAULTS injection lane) are not
         # part of the logical schedule: allocation order inside a shared
         # message region differs across backends, so the per-attempt fault
-        # draws — unlike every logical counter — may diverge slightly
+        # draws — unlike every logical counter — may diverge slightly.
+        # prefetch/arena_grow are likewise physical: the in-process engine
+        # runs one prefetcher and D*p shared arenas per round while each
+        # worker process runs its own, so their event counts differ by
+        # construction
         for c in (a, b):
-            c.pop("io_fault", None)
+            for kind in ("io_fault", "prefetch", "arena_grow"):
+                c.pop(kind, None)
         assert a == b
         worker_side = {"compute_round", "context_read", "context_write",
                        "message_read", "message_write", "network_transfer",
-                       "io_fault", "disk_dead"}
+                       "io_fault", "disk_dead", "prefetch", "arena_grow"}
         for ev in t_par.events:
             assert ("worker" in ev) == (ev["kind"] in worker_side), ev
         workers_seen = {ev["worker"] for ev in t_par.events if "worker" in ev}

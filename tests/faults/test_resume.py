@@ -49,8 +49,10 @@ def counters(report) -> dict:
 
 
 def stripped(events, kinds=("superstep_end", "run_end")) -> list[dict]:
+    # seq/ts/wall_s/span are physical (timing or bus bookkeeping); the
+    # logical payload must be bit-identical across kill/resume
     return [
-        {k: v for k, v in ev.items() if k not in ("seq", "ts")}
+        {k: v for k, v in ev.items() if k not in ("seq", "ts", "wall_s", "span", "parent")}
         for ev in events
         if ev["kind"] in kinds
     ]

@@ -1,0 +1,303 @@
+"""The telemetry bus: span threading, subscriptions, backpressure, the
+disabled path's no-op guarantee, and the REPRO_TRACE knob."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import numpy as np
+import pytest
+
+from repro.cgm.config import MachineConfig
+from repro.em.runner import em_sort, make_engine
+from repro.obs.bus import NULL_BUS, EventBus, NullBus, Subscription, bus_from_env
+from repro.obs.trace import NULL_RECORDER, JsonlRecorder, NullRecorder
+from repro.util.rng import make_rng
+
+
+def _bus(**kw) -> EventBus:
+    kw.setdefault("monitor", False)
+    return EventBus(**kw)
+
+
+class TestSpanThreading:
+    def test_openers_nest_and_closers_pop(self):
+        bus = _bus()
+        bus.emit("run_begin")
+        bus.emit("superstep_begin", superstep=0)
+        bus.emit("compute_round", pid=0)
+        bus.emit("superstep_end", superstep=0)
+        bus.emit("run_end")
+        run_b, ss_b, comp, ss_e, run_e = bus.events
+        assert run_b["span"] == 0 and "parent" not in run_b
+        assert ss_b["span"] == 1 and ss_b["parent"] == 0
+        assert comp["span"] == 1  # tagged with the enclosing superstep
+        assert ss_e["span"] == 1 and ss_e["parent"] == 0
+        assert run_e["span"] == 0
+
+    def test_explicit_span_contextmanager(self):
+        bus = _bus()
+        bus.emit("run_begin")
+        with bus.span("shuffle", round=2):
+            bus.emit("message_write", pid=0)
+        kinds = [e["kind"] for e in bus.events]
+        assert kinds == ["run_begin", "span_begin", "message_write", "span_end"]
+        sb, mw, se = bus.events[1:]
+        assert sb["name"] == "shuffle" and sb["round"] == 2
+        assert sb["parent"] == 0 and mw["span"] == sb["span"] == se["span"]
+
+    def test_span_ids_are_deterministic(self):
+        a, b = _bus(), _bus()
+        for bus in (a, b):
+            bus.emit("run_begin")
+            bus.emit("superstep_begin", superstep=0)
+            bus.emit("superstep_end", superstep=0)
+        assert [e["span"] for e in a.events] == [e["span"] for e in b.events]
+
+    def test_drop_in_recorder_compat(self, tmp_path):
+        """EventBus must behave as a JsonlRecorder for every export path."""
+        bus = _bus()
+        assert isinstance(bus, JsonlRecorder)
+        bus.emit("run_begin")
+        bus.emit("run_end")
+        p = tmp_path / "t.jsonl"
+        assert bus.write_jsonl(str(p)) == 2
+        assert bus.counts() == {"run_begin": 1, "run_end": 1}
+
+
+class TestSubscriptions:
+    def test_delivery_in_order(self):
+        bus = _bus()
+        sub = bus.subscribe()
+        for i in range(5):
+            bus.emit("k", i=i)
+        got = [sub.get(timeout=0) for _ in range(5)]
+        assert [e["i"] for e in got] == list(range(5))
+        assert sub.get(timeout=0) is None
+
+    def test_kind_filter(self):
+        bus = _bus()
+        sub = bus.subscribe(kinds={"superstep_end"})
+        bus.emit("compute_round")
+        bus.emit("superstep_end", superstep=0)
+        ev = sub.get(timeout=0)
+        assert ev["kind"] == "superstep_end"
+        assert sub.get(timeout=0) is None
+
+    def test_bounded_queue_drops_oldest(self):
+        bus = _bus()
+        sub = bus.subscribe(maxlen=3)
+        for i in range(10):
+            bus.emit("k", i=i)
+        assert sub.dropped == 7
+        got = list(iter(lambda: sub.get(timeout=0), None))
+        assert [e["i"] for e in got] == [7, 8, 9]
+
+    def test_slow_consumer_never_blocks_emit(self):
+        bus = _bus()
+        bus.subscribe(maxlen=1)  # never drained
+        for i in range(1000):
+            bus.emit("k", i=i)  # must not deadlock
+        assert len(bus.events) == 1000
+
+    def test_close_detaches_and_wakes_blocked_get(self):
+        bus = _bus()
+        sub = bus.subscribe()
+        got = []
+        t = threading.Thread(target=lambda: got.append(sub.get(timeout=30)))
+        t.start()
+        sub.close()
+        t.join(timeout=5)
+        assert not t.is_alive() and got == [None]
+        assert bus.subscriptions == 0
+        sub.close()  # idempotent
+
+    def test_iter_drains_then_stops_on_close(self):
+        bus = _bus()
+        sub = bus.subscribe()
+        bus.emit("a")
+        bus.emit("b")
+        sub.close()
+        assert [e["kind"] for e in sub] == ["a", "b"]
+
+    def test_bus_close_closes_subscriptions(self):
+        bus = _bus()
+        sub = bus.subscribe()
+        bus.close()
+        assert sub.closed
+
+    def test_bad_maxlen_rejected(self):
+        with pytest.raises(ValueError):
+            Subscription(None, maxlen=0)
+
+
+class TestListeners:
+    def test_listener_emission_is_sequenced_after_trigger(self):
+        bus = _bus()
+
+        def react(ev):
+            if ev["kind"] == "superstep_end":
+                bus.emit("model_drift", round=ev.get("round"))
+
+        bus.add_listener(react)
+        sub = bus.subscribe()
+        bus.emit("superstep_end", round=0)
+        kinds = [e["kind"] for e in bus.events]
+        assert kinds == ["superstep_end", "model_drift"]
+        # subscribers observe the same order
+        assert [sub.get(timeout=0)["kind"] for _ in range(2)] == kinds
+
+    def test_listener_errors_counted_not_raised(self):
+        bus = _bus()
+        bus.add_listener(lambda ev: 1 / 0)
+        bus.emit("k")
+        assert bus.listener_errors == 1 and len(bus.events) == 1
+
+    def test_remove_listener(self):
+        bus = _bus()
+        seen = []
+        cb = seen.append
+        bus.add_listener(cb)
+        bus.emit("a")
+        bus.remove_listener(cb)
+        bus.emit("b")
+        assert [e["kind"] for e in seen] == ["a"]
+
+
+class TestSink:
+    def test_path_sink_streams_and_flushes_per_event(self, tmp_path):
+        p = tmp_path / "live.jsonl"
+        bus = _bus(sink=str(p))
+        bus.emit("run_begin")
+        # visible immediately, before close — that's what --follow tails
+        lines = p.read_text().splitlines()
+        assert len(lines) == 1 and json.loads(lines[0])["kind"] == "run_begin"
+        bus.close()
+
+    def test_record_off_keeps_nothing(self):
+        bus = _bus(record=False)
+        bus.emit("k")
+        assert bus.events == []
+
+
+class TestDisabledPath:
+    """Tentpole guarantee: bus off == pre-bus NULL_RECORDER, exactly."""
+
+    def test_null_bus_is_a_null_recorder(self):
+        assert isinstance(NULL_BUS, NullRecorder)
+        assert NULL_BUS.enabled is False
+        NULL_BUS.emit("anything", x=1)  # silent no-op
+        with NULL_BUS.span("region"):  # no events, no stack
+            pass
+
+    def test_null_bus_allocates_no_queues_or_spans(self):
+        assert not hasattr(NULL_BUS, "_subs")
+        assert not hasattr(NULL_BUS, "_span_stack")
+        assert not hasattr(NULL_BUS, "events")
+
+    def test_subscribe_on_disabled_bus_is_a_caller_bug(self):
+        with pytest.raises(RuntimeError):
+            NULL_BUS.subscribe()
+        with pytest.raises(RuntimeError):
+            NULL_BUS.add_listener(lambda ev: None)
+
+    def test_engines_default_to_disabled_recorder(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TRACE", raising=False)
+        cfg = MachineConfig(N=1 << 12, v=4, D=2, B=64)
+        eng = make_engine(cfg, "seq")
+        assert eng.tracer.enabled is False
+
+    def test_untraced_run_emits_nothing(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TRACE", raising=False)
+        data = make_rng(0).integers(0, 2**40, 1 << 12)
+        cfg = MachineConfig(N=1 << 12, v=4, D=2, B=64)
+        res = em_sort(data, cfg)
+        assert np.array_equal(res.values, np.sort(data))
+
+
+class TestEnvKnob:
+    @pytest.mark.parametrize("val", ["", "0", "false", "off", "no"])
+    def test_false_tokens_stay_off(self, monkeypatch, val):
+        monkeypatch.setenv("REPRO_TRACE", val)
+        assert bus_from_env() is None
+
+    def test_unset_stays_off(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TRACE", raising=False)
+        assert bus_from_env() is None
+
+    @pytest.mark.parametrize("val", ["1", "true", "on"])
+    def test_true_tokens_record_in_memory(self, monkeypatch, val):
+        monkeypatch.setenv("REPRO_TRACE", val)
+        bus = bus_from_env()
+        assert isinstance(bus, EventBus) and bus._sink is None
+        bus.close()
+
+    def test_other_value_is_a_sink_path(self, monkeypatch, tmp_path):
+        p = tmp_path / "stream.jsonl"
+        monkeypatch.setenv("REPRO_TRACE", str(p))
+        bus = bus_from_env()
+        bus.emit("k")
+        bus.close()
+        assert json.loads(p.read_text())["kind"] == "k"
+
+    def test_make_engine_installs_bus_from_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE", "1")
+        cfg = MachineConfig(N=1 << 12, v=4, D=2, B=64)
+        eng = make_engine(cfg, "seq")
+        assert isinstance(eng.tracer, EventBus)
+
+    def test_env_traced_run_records_events(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE", "1")
+        data = make_rng(1).integers(0, 2**40, 1 << 12)
+        cfg = MachineConfig(N=1 << 12, v=4, D=2, B=64)
+        eng = make_engine(cfg, "seq")
+        assert isinstance(eng.tracer, EventBus)
+
+    def test_explicit_tracer_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE", "1")
+        tr = JsonlRecorder()
+        cfg = MachineConfig(N=1 << 12, v=4, D=2, B=64)
+        eng = make_engine(cfg, "seq", tracer=tr)
+        assert eng.tracer is tr
+
+
+class TestEngineIntegration:
+    def test_subscriber_sees_live_superstep_stream(self):
+        bus = EventBus()
+        sub = bus.subscribe(kinds={"superstep_end"}, maxlen=64)
+        data = make_rng(2).integers(0, 2**50, 1 << 13)
+        cfg = MachineConfig(N=1 << 13, v=8, p=2, D=2, B=64)
+        res = em_sort(data, cfg, engine="par", tracer=bus)
+        ends = list(iter(lambda: sub.get(timeout=0), None))
+        assert len(ends) == len(
+            [e for e in bus.events if e["kind"] == "superstep_end"]
+        )
+        assert sum(e["parallel_ios"] for e in ends) <= res.report.io.parallel_ios
+
+    def test_worker_events_are_parented_into_round_spans(self):
+        data = make_rng(3).integers(0, 2**50, 1 << 12)
+        cfg = MachineConfig(N=1 << 12, v=4, p=2, D=2, B=64, workers=2)
+        bus = EventBus()
+        em_sort(data, cfg, engine="par", tracer=bus)
+        by_kind: dict = {}
+        for ev in bus.events:
+            by_kind.setdefault(ev["kind"], []).append(ev)
+        run_span = by_kind["run_begin"][0]["span"]
+        ss_spans = {e["span"] for e in by_kind["superstep_begin"]}
+        for ev in by_kind["compute_round"]:
+            assert "worker" in ev and ev["span"] in ss_spans
+        for e in by_kind["superstep_begin"]:
+            assert e["parent"] == run_span
+
+    def test_null_bus_run_matches_null_recorder_run(self):
+        """Same engine, NULL_BUS vs NULL_RECORDER: identical results."""
+        data = make_rng(4).integers(0, 2**50, 1 << 12)
+        cfg = MachineConfig(N=1 << 12, v=4, D=2, B=64)
+        a = em_sort(data, cfg, tracer=NULL_BUS)
+        b = em_sort(data, cfg, tracer=NULL_RECORDER)
+        assert np.array_equal(a.values, b.values)
+        assert a.report.io.as_dict() == b.report.io.as_dict()
+
+    def test_null_bus_type_sanity(self):
+        assert isinstance(NULL_BUS, NullBus)

@@ -181,6 +181,56 @@ class TestAnalyzeCommand:
         bad.write_text("{ not json\n")
         assert main(["analyze", str(bad)]) == 2
 
+    def test_analyze_critical_path(self, tmp_path, capsys):
+        path = tmp_path / "trace.jsonl"
+        assert main(["sort", "--n", "8192", "--v", "8", "--p", "2",
+                     "--b", "64", "--trace", str(path)]) == 0
+        report = capsys.readouterr().out
+        total = next(
+            ln for ln in report.splitlines() if "parallel I/Os" in ln
+        ).split(":")[1].split()[0]
+        assert main(["analyze", str(path), "--critical-path", "--top", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "comm/comp/I/O attribution" in out
+        assert "per-lane totals" in out and "r0" in out and "r1" in out
+        assert f"= {total} (IOStats run total)" in out
+        assert "top-2 slowest rounds" in out
+
+
+class TestLiveCommands:
+    def _trace(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        assert main(["sort", "--n", "4096", "--v", "4", "--b", "64",
+                     "--trace", str(path)]) == 0
+        return str(path)
+
+    def test_top_once_renders_final_frame(self, tmp_path, capsys):
+        path = self._trace(tmp_path)
+        capsys.readouterr()
+        assert main(["top", path, "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "repro top — sample-sort" in out
+        assert "status: finished" in out
+
+    def test_top_requires_exactly_one_source(self, capsys):
+        assert main(["top"]) == 2
+        assert main(["top", "x.jsonl", "--url", "http://h"]) == 2
+
+    def test_serve_metrics_exit_after_run(self, capsys):
+        import signal
+
+        old_int = signal.getsignal(signal.SIGINT)
+        old_term = signal.getsignal(signal.SIGTERM)
+        try:
+            assert main(["serve-metrics", "--n", "4096", "--v", "4",
+                         "--b", "64", "--port", "0", "--exit-after-run"]) == 0
+        finally:
+            signal.signal(signal.SIGINT, old_int)
+            signal.signal(signal.SIGTERM, old_term)
+        out = capsys.readouterr().out
+        assert "serving on http://127.0.0.1:" in out
+        assert "served sort of 4096 items" in out
+
 
 class TestBenchCommand:
     def _docs(self, tmp_path, ios=100):
