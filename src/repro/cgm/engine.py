@@ -43,6 +43,7 @@ from repro.util.validation import ConfigurationError, SimulationError
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations only
     from repro.faults.checkpoint import CheckpointManager
     from repro.faults.plan import FaultPlan
+    from repro.tune.runtime import RuntimeConfig
 
 #: hard guard against non-terminating programs.
 MAX_ROUNDS = 10_000
@@ -119,6 +120,14 @@ class Engine:
         self.faults: "FaultPlan | None" = None
         self.checkpoint: "CheckpointManager | None" = None
         self.resume = False
+        #: per-run knob snapshot (repro.tune.runtime.RuntimeConfig), set
+        #: post-construction by make_engine / the tuner; ``None`` means
+        #: run() resolves the environment once at run start.  All knob
+        #: consumption during a run goes through the snapshot, so flipping
+        #: an env var mid-run (or between runs sharing this engine) can
+        #: never half-apply.
+        self.runtime: "RuntimeConfig | None" = None
+        self._rt: "RuntimeConfig | None" = None
         #: last snapshot written this run (crash recovery re-reads it).
         self._last_ckpt: dict[str, Any] | None = None
 
@@ -403,6 +412,12 @@ class Engine:
         rngs = spawn_rngs(cfg.seed, v)
         report = CostReport(engine=self.name)
         self._max_message_items = program.max_message_items(cfg)
+        if self.runtime is not None:
+            self._rt = self.runtime
+        else:
+            from repro.tune.runtime import current
+
+            self._rt = current()
         self._start(program)
         mx = self.metrics
         labels = (

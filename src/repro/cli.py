@@ -26,20 +26,48 @@ import numpy as np
 from repro.cgm.config import MachineConfig
 from repro.pdm import fastpath
 from repro.pdm.io_stats import DiskServiceModel
+from repro.tune.knobs import KnobError
 from repro.util.validation import ConfigurationError, SimulationError
+
+
+class _TrackedStore(argparse.Action):
+    """``store`` that records which flags the user typed explicitly.
+
+    A ``--profile`` only fills machine parameters the user did *not*
+    give on the command line (CLI flag > tuned profile), so the parser
+    needs to distinguish a default from an explicit value.  The set is
+    created lazily per-parse on the namespace — a shared default set
+    would leak explicitness across parses.
+    """
+
+    def __call__(self, parser, namespace, values, option_string=None):
+        setattr(namespace, self.dest, values)
+        explicit = getattr(namespace, "_explicit", None)
+        if explicit is None:
+            explicit = set()
+            setattr(namespace, "_explicit", explicit)
+        explicit.add(self.dest)
 
 
 def _add_machine_args(p: argparse.ArgumentParser, n_default: int = 1 << 16) -> None:
     p.add_argument("--n", type=int, default=n_default, help="problem size (items)")
-    p.add_argument("--v", type=int, default=8, help="virtual processors")
+    p.add_argument(
+        "--v", type=int, default=8, action=_TrackedStore, help="virtual processors"
+    )
     p.add_argument("--p", type=int, default=1, help="real processors")
-    p.add_argument("--d", type=int, default=2, help="disks per processor")
-    p.add_argument("--b", type=int, default=256, help="block size (items)")
+    p.add_argument(
+        "--d", type=int, default=2, action=_TrackedStore, help="disks per processor"
+    )
+    p.add_argument(
+        "--b", type=int, default=256, action=_TrackedStore,
+        help="block size (items)",
+    )
     p.add_argument("--m", type=int, default=None, help="memory per processor (items)")
     p.add_argument(
         "--workers",
         type=int,
         default=0,
+        action=_TrackedStore,
         help="run the par backend's real processors in this many OS "
         "processes (0 = single-process simulation; capped at p)",
     )
@@ -105,6 +133,43 @@ def _add_machine_args(p: argparse.ArgumentParser, n_default: int = 1 << 16) -> N
         "the default) or memory-mapped spill files for out-of-core runs "
         "(mmap); equivalent to setting REPRO_ARENA",
     )
+    p.add_argument(
+        "--profile",
+        metavar="PROFILE.json",
+        default=None,
+        help="apply a tuned profile written by 'repro tune': fills "
+        "--v/--d/--b/--workers you did not give explicitly and applies "
+        "its runtime knobs (explicit flags and env vars still win)",
+    )
+
+
+def _apply_profile(args) -> None:
+    """Fill non-explicit machine parameters from ``--profile``.
+
+    The loaded document is stashed on the namespace so the run also
+    applies the profile's knob section (via ``em_run(profile=...)``).
+    """
+    path = getattr(args, "profile", None)
+    if path is None:
+        return
+    from repro.tune.profile import load_profile
+
+    doc = load_profile(path)
+    args._profile_doc = doc
+    explicit = getattr(args, "_explicit", set())
+    machine = doc["machine"]
+    for dest, key in (("v", "v"), ("d", "D"), ("b", "B")):
+        if dest not in explicit and hasattr(args, dest):
+            setattr(args, dest, int(machine[key]))
+    if "workers" not in explicit and hasattr(args, "workers"):
+        workers = doc["config"].get("workers")
+        if workers is not None:
+            args.workers = int(workers)
+
+
+def _profile_kwargs(args) -> dict:
+    doc = getattr(args, "_profile_doc", None)
+    return {"profile": doc} if doc is not None else {}
 
 
 def _config(args, n: int | None = None) -> MachineConfig:
@@ -232,7 +297,7 @@ def cmd_sort(args) -> int:
     registry = _make_metrics(args)
     res = em_sort(
         data, cfg, engine=args.engine, balanced=args.balanced,
-        tracer=tracer, metrics=registry, **_resilience(args),
+        tracer=tracer, metrics=registry, **_resilience(args), **_profile_kwargs(args),
     )
     ok = np.array_equal(res.values, np.sort(data))
     _report(f"sorted {args.n} items: {'OK' if ok else 'MISMATCH'}", res.report, cfg)
@@ -253,7 +318,7 @@ def cmd_permute(args) -> int:
     registry = _make_metrics(args)
     res = em_permute(
         values, perm, cfg, engine=args.engine, balanced=args.balanced,
-        tracer=tracer, metrics=registry, **_resilience(args),
+        tracer=tracer, metrics=registry, **_resilience(args), **_profile_kwargs(args),
     )
     expect = np.zeros(args.n, dtype=np.int64)
     expect[perm] = values
@@ -275,7 +340,7 @@ def cmd_transpose(args) -> int:
     registry = _make_metrics(args)
     res = em_transpose(
         mat, cfg, engine=args.engine, balanced=args.balanced,
-        tracer=tracer, metrics=registry, **_resilience(args),
+        tracer=tracer, metrics=registry, **_resilience(args), **_profile_kwargs(args),
     )
     ok = np.array_equal(res.values, mat.T)
     _report(
@@ -628,6 +693,43 @@ def cmd_bench(args) -> int:
     return proc.returncode
 
 
+def cmd_tune(args) -> int:
+    from repro.tune.knobs import render_knob_table
+    from repro.tune.tuner import WorkloadSpec, tune
+
+    if args.list_knobs:
+        print(render_knob_table())
+        return 0
+    tracer = _make_tracer(args)
+    spec = WorkloadSpec(op=args.op, n=args.n, seed=args.seed, p=args.p)
+    res = tune(
+        spec,
+        probe_n=args.probe_n,
+        reps=args.reps,
+        top_k=args.top_k,
+        tracer=tracer,
+    )
+    path = res.profile.save(args.out)
+    if args.json:
+        import json
+
+        print(json.dumps(res.profile.document(), indent=2, sort_keys=True))
+    else:
+        print(f"tuned {spec.op} (n={spec.n}, p={spec.p}, seed={spec.seed})")
+        print(f"  candidates       : {res.total} ({res.pruned} pruned analytically)")
+        print(f"  chosen           : {res.chosen.label()}")
+        for line in res.profile.rationale:
+            print(f"  - {line}")
+        print(f"  profile          : {path}")
+        print(
+            "  apply with       : --profile "
+            f"{path} (or REPRO_PROFILE={path})"
+        )
+    if tracer is not None:
+        _write_trace(args, tracer)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     from repro import __version__
 
@@ -760,6 +862,70 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=cmd_serve)
 
     p = sub.add_parser(
+        "tune",
+        help="choose a machine shape + runtime-knob configuration for one "
+        "workload: Theorem 2/3 analytic pruning, then measured wall-clock "
+        "probes; writes a reusable tuned-profile JSON",
+    )
+    p.add_argument(
+        "--op",
+        choices=["sort", "permute", "transpose"],
+        default="sort",
+        help="workload operation to tune for (default: sort)",
+    )
+    p.add_argument(
+        "--n", type=int, default=1 << 16,
+        help="target problem size in items (default: 65536, the fig5 "
+        "group-A scale)",
+    )
+    p.add_argument("--p", type=int, default=1, help="real processors")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--out",
+        default="tuned_profile.json",
+        metavar="PROFILE.json",
+        help="where to write the tuned profile (default: tuned_profile.json)",
+    )
+    p.add_argument(
+        "--probe-n",
+        type=int,
+        default=None,
+        metavar="N",
+        help="probe problem size (default: min(n, 16384))",
+    )
+    p.add_argument(
+        "--reps", type=int, default=2, help="probe repetitions, best-of (default 2)"
+    )
+    p.add_argument(
+        "--top-k",
+        type=int,
+        default=4,
+        help="candidates kept after analytic pruning (default 4)",
+    )
+    p.add_argument(
+        "--json", action="store_true", help="print the profile document as JSON"
+    )
+    p.add_argument(
+        "--list-knobs",
+        action="store_true",
+        help="print the registry of every REPRO_* knob and exit",
+    )
+    p.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="record the tuner's decision events (tune_begin/tune_probe/"
+        "tune_end) to PATH",
+    )
+    p.add_argument(
+        "--trace-format",
+        choices=["jsonl", "chrome"],
+        default="jsonl",
+        help=argparse.SUPPRESS,
+    )
+    p.set_defaults(fn=cmd_tune)
+
+    p = sub.add_parser(
         "bench",
         help="run benchmark suites headlessly (writes BENCH_<suite>.json) "
         "or gate two result files with --compare",
@@ -821,12 +987,18 @@ def main(argv: list[str] | None = None) -> int:
         return 2
     if getattr(args, "command", None) == "cc" and args.edges is None:
         args.edges = 2 * args.n
-    if getattr(args, "arena", None) is not None:
-        # written to the environment so the workers backend's processes
-        # inherit the same storage selection
-        fastpath.set_arena_kind(args.arena)
     try:
+        if getattr(args, "arena", None) is not None:
+            # written to the environment so the workers backend's processes
+            # inherit the same storage selection
+            fastpath.set_arena_kind(args.arena)
+        _apply_profile(args)
         return fn(args)
+    except KnobError as exc:
+        # a malformed REPRO_* value (or profile entry) is a usage error:
+        # one line naming the variable, exit code 2, never a traceback
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     except (SimulationError, ConfigurationError) as exc:
         # configuration mistakes (bad fault plan, --resume without a
         # snapshot, refused corrupt checkpoint) and simulation failures

@@ -45,7 +45,6 @@ from repro.core.layouts import (
     consecutive_addresses_np,
 )
 from repro.faults.injector import FaultyDiskArray, collect_fault_stats, emit_fault_metrics
-from repro.pdm import fastpath
 from repro.pdm.block import blocks_for_bytes, pack_blocks, unpack_blocks
 from repro.pdm.disk_array import DiskArray
 from repro.pdm.fastpath import BlockRun, BufferPool
@@ -102,10 +101,24 @@ class ParEMEngine(Engine):
         max_msg_bytes = slot_items * ITEM_BYTES + envelope
         self.slot_blocks = max(1, -(-max_msg_bytes // (cfg.B * ITEM_BYTES)))
 
+        # per-run knob snapshot: Engine.run() resolves it before _start;
+        # the workers backend ships the coordinator's snapshot instead
+        # (see repro.core.workers), so one run can never see two values
+        if self._rt is None:
+            from repro.tune.runtime import current
+
+            self._rt = current()
+        rt = self._rt
         # the vectorized fast path services whole runs as single NumPy
         # gather/scatters; fault plans need per-op injection, so they pin
-        # the reference path (REPRO_FASTPATH=0 selects it explicitly)
-        self._fastpath = fastpath.enabled() and self.faults is None
+        # the reference path (REPRO_FASTPATH=0 selects it explicitly).
+        # In ``auto`` mode _begin_superstep dispatches per round by the
+        # scheduled context-block count (granularity control); storage
+        # stays arena-backed so both paths address the same bytes.
+        self._fastpath_mode = rt.fastpath_mode if self.faults is None else "off"
+        self._auto_blocks = rt.fastpath_auto_blocks
+        self._fastpath = self._fastpath_mode != "off"
+        self._prefetch_on = self._fastpath and rt.prefetch
         self._block_bytes = cfg.B * ITEM_BYTES
         self._iopool = BufferPool()
         self._prefetch: DoubleBufferedReader | None = None
@@ -145,7 +158,9 @@ class ParEMEngine(Engine):
             # the tracer rides along for storage-level telemetry (the
             # arena growth events of the out-of-core path); logical I/O
             # events stay at the engine layer
-            return DiskArray(cfg.D, cfg.B, tracer=self.tracer, real=real)
+            return DiskArray(
+                cfg.D, cfg.B, tracer=self.tracer, real=real, runtime=self._rt
+            )
         return FaultyDiskArray(
             cfg.D, cfg.B, self.faults.injector_for(real), tracer=self.tracer, real=real
         )
@@ -173,7 +188,17 @@ class ParEMEngine(Engine):
         submitted up front and gathered concurrently with compute.  See
         :mod:`repro.pdm.pipeline` for the determinism argument.
         """
-        if not (self._fastpath and fastpath.prefetch_enabled()):
+        if self._fastpath_mode == "auto":
+            # granularity control: the batched path's setup overhead only
+            # pays off once a round schedules enough context blocks, so
+            # dispatch each superstep by its scheduled volume.  Both paths
+            # read/write the same arena-backed bytes with identical
+            # logical accounting, so flipping between them is free.
+            blocks = sum(
+                self._ctx_region[pid][2] for pid in pids if pid in self._ctx_region
+            )
+            self._fastpath = blocks >= self._auto_blocks
+        if not (self._fastpath and self._prefetch_on):
             return
         schedule = [pid for pid in pids if pid in self._ctx_region]
         if len(schedule) < 2:  # nothing to overlap

@@ -67,6 +67,9 @@ from repro.pdm.io_stats import IOStats
 from repro.util.rng import spawn_rngs
 from repro.util.validation import SimulationError
 
+#: distinguishes "no threshold passed" from an explicit ``None`` (shm off)
+_UNSET = object()
+
 #: seconds a blocked queue read waits between abort-flag polls.
 _POLL_S = 0.25
 #: empty poll cycles tolerated after a peer process is seen dead.
@@ -164,12 +167,18 @@ class _Network:
     segments after staging.
     """
 
-    def __init__(self, worker_id: int, inboxes, abort) -> None:
+    def __init__(
+        self, worker_id: int, inboxes, abort, shm_threshold=_UNSET
+    ) -> None:
         self.worker_id = worker_id
         self.inboxes = inboxes
         self.abort = abort
         self._buffer: dict[tuple[int, int], dict[int, tuple]] = {}
-        self.shm_threshold = fastpath.shm_threshold()
+        # the coordinator's per-run snapshot fixes the threshold for every
+        # worker; the module-level fallback serves direct construction
+        self.shm_threshold = (
+            fastpath.shm_threshold() if shm_threshold is _UNSET else shm_threshold
+        )
         self._consumed: list = []
 
     def _encode(self, items: list) -> tuple:
@@ -375,6 +384,7 @@ def _worker_main(
     program: CGMProgram,
     max_message_items: int,
     faults,
+    runtime,
     cmd_q,
     result_q,
     net_qs,
@@ -385,15 +395,25 @@ def _worker_main(
     Commands: ``("setup", {pid: input})``, ``("round", r)``, ``("finish",)``,
     ``("snapshot",)``, ``("restore", backend, rng_states)``, ``("stop",)``.
     Any exception is reported on the result queue as an
-    ``("error", traceback)`` message.
+    ``("error", traceback)`` message.  *runtime* is the coordinator's
+    per-run :class:`~repro.tune.runtime.RuntimeConfig` snapshot — workers
+    never consult their own environment, so every process of one run
+    agrees on the knob values even if the environment changes mid-run.
     """
     try:
         tracer = JsonlRecorder() if trace_enabled else None
         eng = _WorkerEngine(cfg, balanced, worker_id, plan, tracer=tracer)
         eng._max_message_items = max_message_items
         eng.faults = faults
+        eng.runtime = runtime
+        eng._rt = runtime
         eng._start(program)
-        net = _Network(worker_id, net_qs, abort)
+        net = _Network(
+            worker_id,
+            net_qs,
+            abort,
+            shm_threshold=runtime.shm_threshold if runtime is not None else _UNSET,
+        )
         rngs = spawn_rngs(cfg.seed, cfg.v)
         while True:
             cmd = _poll_get(cmd_q, abort, "a coordinator command")
@@ -502,6 +522,10 @@ class ProcessParEngine(Engine):
     def _start(self, program: CGMProgram) -> None:
         cfg = self.cfg
         self._plan = partition_reals(cfg.p, self.n_workers)
+        if self._rt is None:
+            from repro.tune.runtime import current
+
+            self._rt = current()
         ctx = _mp_context()
         self._abort = ctx.Event()
         self._result_q = ctx.Queue()
@@ -520,6 +544,7 @@ class ProcessParEngine(Engine):
                     program,
                     self._max_message_items,
                     self.faults,
+                    self._rt,
                     self._cmd_qs[w],
                     self._result_q,
                     self._net_qs,

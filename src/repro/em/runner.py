@@ -14,7 +14,6 @@ p == 1), ``"par"`` (Algorithm 3), ``"memory"`` (pure CGM reference), or
 
 from __future__ import annotations
 
-import os
 from dataclasses import dataclass
 from typing import Any
 
@@ -34,6 +33,7 @@ from repro.faults.checkpoint import CheckpointManager
 from repro.faults.plan import FaultPlan
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import TraceRecorder
+from repro.tune.runtime import RuntimeConfig
 from repro.util.validation import ConfigurationError
 
 _ENGINES = {
@@ -54,13 +54,28 @@ def make_engine(
     faults: FaultPlan | str | None = None,
     checkpoint: CheckpointManager | str | None = None,
     resume: bool = False,
+    runtime: RuntimeConfig | None = None,
+    profile: str | dict | None = None,
 ) -> Engine:
     """Engine factory; ``None`` picks seq/par EM from ``cfg.p``.
 
+    Every ``REPRO_*`` knob is resolved here, once, into one per-run
+    :class:`~repro.tune.runtime.RuntimeConfig` snapshot (precedence: CLI
+    flag > environment > tuned profile > default) that the engine and all
+    its storage hold for the whole run — flipping an environment variable
+    between two runs re-resolves cleanly, never half-applies.  Malformed
+    knob values raise a named :class:`~repro.tune.knobs.KnobError` instead
+    of a bare traceback.
+
+    *runtime* pins an explicit pre-resolved snapshot (the tuner's probes);
+    *profile* applies a tuned-profile JSON document (path or loaded dict)
+    under the environment, as does ``REPRO_PROFILE`` when neither argument
+    is given.
+
     The ``par`` backend switches to the multi-core worker implementation
-    when ``cfg.workers > 1`` (or the ``REPRO_WORKERS`` environment
-    variable requests it and the config leaves ``workers`` unset) and
-    there is more than one real processor to parallelize over.
+    when ``cfg.workers > 1`` (or the ``REPRO_WORKERS`` knob requests it
+    and the config leaves ``workers`` unset) and there is more than one
+    real processor to parallelize over.
 
     Resilience knobs (EM backends only): *faults* is a
     :class:`~repro.faults.plan.FaultPlan` (or a path to its JSON form)
@@ -68,14 +83,26 @@ def make_engine(
     :class:`~repro.faults.checkpoint.CheckpointManager` (or directory)
     that snapshots the run at every round boundary; *resume* restores the
     newest snapshot instead of running setup.  When no explicit plan is
-    given, the ``REPRO_FAULTS`` environment variable applies one to every
-    fault-capable engine (the CI whole-suite injection lane).
+    given, the ``REPRO_FAULTS`` knob applies one to every fault-capable
+    engine (the CI whole-suite injection lane).
 
-    When no *tracer* is passed, the ``REPRO_TRACE`` environment variable
-    can install a live :class:`~repro.obs.bus.EventBus` (a truthy value
-    records in memory; a path value streams JSON lines there) — unset, the
-    default stays the zero-cost :data:`~repro.obs.trace.NULL_RECORDER`.
+    When no *tracer* is passed, the ``REPRO_TRACE`` knob can install a
+    live :class:`~repro.obs.bus.EventBus` (a truthy value records in
+    memory; a path value streams JSON lines there) — unset, the default
+    stays the zero-cost :data:`~repro.obs.trace.NULL_RECORDER`.
     """
+    prof_doc: dict | None = None
+    if runtime is not None:
+        rt = runtime
+    else:
+        rt = RuntimeConfig.resolve()
+        if profile is None and rt.profile:
+            profile = rt.profile
+        if profile is not None:
+            from repro.tune.profile import config_from_profile, load_profile
+
+            prof_doc = load_profile(profile) if isinstance(profile, str) else profile
+            rt = RuntimeConfig.resolve(profile=config_from_profile(prof_doc))
     if tracer is None:
         from repro.obs.bus import bus_from_env
 
@@ -90,7 +117,7 @@ def make_engine(
         ) from None
     eng: Engine | None = None
     if engine == "par" and cfg.p > 1:
-        workers = cfg.workers or int(os.environ.get("REPRO_WORKERS") or 0)
+        workers = cfg.workers or rt.workers
         if workers > 1:
             from repro.core.workers import ProcessParEngine
 
@@ -105,12 +132,11 @@ def make_engine(
         eng = cls(
             cfg, balanced=balanced, validate=validate, tracer=tracer, metrics=metrics
         )
+    eng.runtime = rt
     if isinstance(faults, str):
         faults = FaultPlan.from_json(faults)
-    if faults is None and eng.supports_faults:
-        env_plan = os.environ.get("REPRO_FAULTS")
-        if env_plan:
-            faults = FaultPlan.from_json(env_plan)
+    if faults is None and eng.supports_faults and rt.faults:
+        faults = FaultPlan.from_json(rt.faults)
     eng.faults = faults
     if checkpoint is not None:
         eng.checkpoint = (
@@ -119,6 +145,17 @@ def make_engine(
             else CheckpointManager(checkpoint)
         )
     eng.resume = bool(resume)
+    if prof_doc is not None and tracer is not None and tracer.enabled:
+        # surface the applied profile before run_begin: repro analyze
+        # counts pre-superstep kinds as setup events and reports the
+        # chosen configuration + rationale alongside the run
+        tracer.emit(
+            "tuned_config",
+            config=dict(prof_doc.get("config", {})),
+            machine=dict(prof_doc.get("machine", {})),
+            rationale=list(prof_doc.get("rationale", [])),
+            fingerprint=prof_doc.get("fingerprint", ""),
+        )
     return eng
 
 
@@ -150,11 +187,14 @@ def em_run(
     faults: FaultPlan | str | None = None,
     checkpoint: CheckpointManager | str | None = None,
     resume: bool = False,
+    runtime: RuntimeConfig | None = None,
+    profile: str | dict | None = None,
 ) -> RunResult:
     """Run any CGM program on the selected backend."""
     return make_engine(
         cfg, engine, balanced, validate, tracer, metrics,
         faults=faults, checkpoint=checkpoint, resume=resume,
+        runtime=runtime, profile=profile,
     ).run(program, inputs)
 
 
@@ -168,13 +208,14 @@ def em_sort(
     faults: FaultPlan | str | None = None,
     checkpoint: CheckpointManager | str | None = None,
     resume: bool = False,
+    profile: str | dict | None = None,
 ) -> EMResult:
     """Sort *data* with the simulated CGM sample sort (O(N/(pDB)) I/Os)."""
     data = np.asarray(data)
     res = em_run(
         SampleSort(), partition_array(data, cfg.v), cfg, engine, balanced,
         tracer=tracer, metrics=metrics,
-        faults=faults, checkpoint=checkpoint, resume=resume,
+        faults=faults, checkpoint=checkpoint, resume=resume, profile=profile,
     )
     return EMResult(np.concatenate(res.outputs), res)
 
@@ -190,6 +231,7 @@ def em_permute(
     faults: FaultPlan | str | None = None,
     checkpoint: CheckpointManager | str | None = None,
     resume: bool = False,
+    profile: str | dict | None = None,
 ) -> EMResult:
     """Permute int64 *values*: output[destinations[i]] = values[i].
 
@@ -205,7 +247,7 @@ def em_permute(
     )
     res = em_run(
         CGMPermute(), inputs, cfg, engine, balanced, tracer=tracer, metrics=metrics,
-        faults=faults, checkpoint=checkpoint, resume=resume,
+        faults=faults, checkpoint=checkpoint, resume=resume, profile=profile,
     )
     return EMResult(np.concatenate(res.outputs), res)
 
@@ -220,6 +262,7 @@ def em_transpose(
     faults: FaultPlan | str | None = None,
     checkpoint: CheckpointManager | str | None = None,
     resume: bool = False,
+    profile: str | dict | None = None,
 ) -> EMResult:
     """Transpose a k x ell int64 matrix (O(N/(pDB)) I/Os)."""
     matrix = np.asarray(matrix)
@@ -234,7 +277,7 @@ def em_transpose(
         row0 += band.shape[0]
     res = em_run(
         CGMTranspose(), inputs, cfg, engine, balanced, tracer=tracer, metrics=metrics,
-        faults=faults, checkpoint=checkpoint, resume=resume,
+        faults=faults, checkpoint=checkpoint, resume=resume, profile=profile,
     )
     out = np.vstack([o for o in res.outputs if o.size]) if any(o.size for o in res.outputs) else np.zeros((ell, k), dtype=np.int64)
     return EMResult(out, res)

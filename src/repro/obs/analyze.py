@@ -102,6 +102,9 @@ class TraceAnalysis:
     prefetch_misses: int = 0
     #: model_drift events the streaming conformance monitor emitted
     drift_count: int = 0
+    #: the tuned-profile announcement make_engine emitted before run_begin
+    #: (config/machine/rationale/fingerprint), None for untuned runs
+    tuned: dict[str, Any] | None = None
 
     # -- verdicts -------------------------------------------------------------
 
@@ -318,6 +321,7 @@ class TraceAnalysis:
             "violations": len(self.violations()),
             "total_parallel_ios": self.total_parallel_ios,
             "drift_count": self.drift_count,
+            "tuned": self.tuned,
             "real_worker": {str(k): v for k, v in sorted(self.real_worker.items())},
             "arena": {
                 "grows": self.arena_grows,
@@ -422,6 +426,18 @@ class TraceAnalysis:
                 f"model drift: {self.drift_count} live budget violation(s) "
                 "flagged by the streaming conformance monitor"
             )
+        if self.tuned is not None:
+            knobs = " ".join(
+                f"{k}={v}" for k, v in sorted(self.tuned["config"].items())
+            )
+            fp = self.tuned["fingerprint"]
+            foot.append(
+                "tuned profile applied"
+                + (f" [{fp[:12]}]" if fp else "")
+                + (f": {knobs}" if knobs else "")
+            )
+            for line in self.tuned["rationale"]:
+                foot.append(f"  - {line}")
         if self.is_em:
             nviol = len(self.violations())
             foot.append(
@@ -485,6 +501,15 @@ def analyze_events(
         elif kind == "run_end":
             out.total_parallel_ios = int(ev.get("parallel_ios", 0) or 0)
             out.run_supersteps = int(ev.get("supersteps", 0) or 0)
+        elif kind == "tuned_config":
+            out.tuned = {
+                "config": dict(ev.get("config", {}) or {}),
+                "machine": dict(ev.get("machine", {}) or {}),
+                "rationale": [str(x) for x in (ev.get("rationale", []) or [])],
+                "fingerprint": str(ev.get("fingerprint", "") or ""),
+            }
+            if not seen_first:
+                out.setup_events += 1
         elif kind == "model_drift":
             # emitted in-stream by the conformance monitor, sequenced just
             # after the superstep_end it reacted to

@@ -45,7 +45,6 @@ streams the trace there live).
 from __future__ import annotations
 
 import json
-import os
 import threading
 import time
 from collections import deque
@@ -60,7 +59,6 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 _OPENERS = frozenset({"run_begin", "superstep_begin", "span_begin"})
 _CLOSERS = frozenset({"run_end", "superstep_end", "span_end"})
 
-_FALSE = frozenset({"", "0", "false", "no", "off"})
 _TRUE = frozenset({"1", "true", "yes", "on"})
 
 
@@ -309,12 +307,12 @@ def trace_env_spec() -> "str | None":
     """The ``REPRO_TRACE`` setting, or ``None`` when tracing is off.
 
     Off (the default) when unset or a false token (``0/false/no/off``);
-    any other value enables the bus.
+    any other value enables the bus.  Read through the centralized knob
+    layer (:mod:`repro.tune.knobs`).
     """
-    val = os.environ.get("REPRO_TRACE", "").strip()
-    if val.lower() in _FALSE:
-        return None
-    return val
+    from repro.tune.runtime import current
+
+    return current().trace
 
 
 def bus_from_env() -> "EventBus | None":

@@ -40,6 +40,7 @@ from repro.util.validation import SimulationError, require
 
 if TYPE_CHECKING:  # pragma: no cover - layering: pdm stays engine-free
     from repro.obs.trace import TraceRecorder
+    from repro.tune.runtime import RuntimeConfig
 
 #: One fast-path write/read segment: parallel arrays of disk and track
 #: indices plus the run of blocks addressed by them.
@@ -115,7 +116,12 @@ class DiskArray:
     """D simulated disks owned by one (real) processor."""
 
     def __init__(
-        self, D: int, B: int, tracer: "TraceRecorder | None" = None, real: int = 0
+        self,
+        D: int,
+        B: int,
+        tracer: "TraceRecorder | None" = None,
+        real: int = 0,
+        runtime: "RuntimeConfig | None" = None,
     ) -> None:
         require(D >= 1, f"need at least one disk, got D={D}")
         require(B >= 1, f"block size must be positive, got B={B}")
@@ -124,8 +130,11 @@ class DiskArray:
         self.block_bytes = B * ITEM_BYTES
         self._tracer = tracer
         self._real = int(real)
+        self._runtime = runtime
         self._arena: TrackArena | None = (
-            make_arena(D, self.block_bytes) if self._use_fastpath_storage() else None
+            make_arena(D, self.block_bytes, runtime=runtime)
+            if self._use_fastpath_storage()
+            else None
         )
         if self._arena is not None and tracer is not None and tracer.enabled:
             # storage telemetry: growth happens on the engine thread only
@@ -159,6 +168,8 @@ class DiskArray:
         reference path (and its shadow-track remaps live far outside any
         arena's dense range).
         """
+        if self._runtime is not None:
+            return self._runtime.fastpath_storage
         return fastpath.enabled()
 
     # -- core operation ----------------------------------------------------

@@ -33,39 +33,35 @@ this.  This module holds the pieces shared by both sides of the split:
 
 from __future__ import annotations
 
-import os
-
 import numpy as np
 
-_FALSE = frozenset({"0", "false", "no", "off"})
-
-#: Default payload size (bytes) above which worker packets travel through
-#: shared memory.  Small packets stay on the Queue: one pickle of a few KB
-#: is cheaper than creating and mapping a segment.
-DEFAULT_SHM_THRESHOLD = 1 << 16
+from repro.tune import knobs as _knobs
+from repro.tune.knobs import ARENA_KINDS, DEFAULT_SHM_THRESHOLD  # noqa: F401
+from repro.tune.runtime import current as _current
 
 
 def enabled() -> bool:
     """True when the vectorized fast path is selected (``REPRO_FASTPATH``).
 
-    Unset or any truthy spelling means *on*; ``0``/``false``/``no``/``off``
-    select the reference path.  Read dynamically so tests can flip the
-    environment per-run.
+    The knob accepts ``on``/``off`` spellings plus ``auto[:blocks]``
+    (per-superstep dispatch); both ``on`` and ``auto`` report True here —
+    arena-backed storage is shared by both.  Parsed by
+    :mod:`repro.tune.knobs`; malformed values raise a named
+    :class:`~repro.tune.knobs.KnobError`.  Read dynamically so tests can
+    flip the environment per-run; engines snapshot a
+    :class:`~repro.tune.runtime.RuntimeConfig` once per run instead.
     """
-    return os.environ.get("REPRO_FASTPATH", "1").strip().lower() not in _FALSE
+    return _current().fastpath_mode != "off"
 
 
 def set_enabled(flag: bool) -> None:
     """Select the fast (True) or reference (False) path process-wide.
 
-    Writes ``REPRO_FASTPATH`` so child processes started afterwards (the
-    workers backend) inherit the same selection.
+    Writes ``REPRO_FASTPATH`` (via the centralized knob layer) so child
+    processes started afterwards (the workers backend) inherit the same
+    selection.
     """
-    os.environ["REPRO_FASTPATH"] = "1" if flag else "0"
-
-
-#: storage backends the track arena can use (see repro.pdm.mmap_arena).
-ARENA_KINDS = ("ram", "mmap")
+    _knobs.set_env("REPRO_FASTPATH", "1" if flag else "0")
 
 
 def arena_kind() -> str:
@@ -74,25 +70,19 @@ def arena_kind() -> str:
     ``ram`` (the default) keeps each disk's track matrix as a
     preallocated in-memory NumPy array; ``mmap`` backs it with per-disk
     ``numpy.memmap`` files under a run-scoped spill directory, so the
-    simulated problem size is bounded by disk, not host memory.  Read
-    dynamically so tests can flip the environment per-run; an unknown
-    value fails loudly rather than silently running in the wrong mode.
+    simulated problem size is bounded by disk, not host memory.  An
+    unknown value fails loudly (named :class:`~repro.tune.knobs.KnobError`)
+    rather than silently running in the wrong mode.
     """
-    raw = os.environ.get("REPRO_ARENA", "ram").strip().lower() or "ram"
-    if raw not in ARENA_KINDS:
-        from repro.util.validation import ConfigurationError
-
-        raise ConfigurationError(
-            f"unknown REPRO_ARENA value {raw!r}; choose from {ARENA_KINDS}"
-        )
-    return raw
+    return _current().arena
 
 
 def set_arena_kind(kind: str) -> None:
     """Select the arena storage backend process-wide.
 
-    Writes ``REPRO_ARENA`` so child processes started afterwards (the
-    workers backend) build the same storage.
+    Writes ``REPRO_ARENA`` (via the centralized knob layer) so child
+    processes started afterwards (the workers backend) build the same
+    storage.
     """
     if kind not in ARENA_KINDS:
         from repro.util.validation import ConfigurationError
@@ -100,7 +90,7 @@ def set_arena_kind(kind: str) -> None:
         raise ConfigurationError(
             f"unknown arena kind {kind!r}; choose from {ARENA_KINDS}"
         )
-    os.environ["REPRO_ARENA"] = kind
+    _knobs.set_env("REPRO_ARENA", kind)
 
 
 def prefetch_enabled() -> bool:
@@ -110,9 +100,8 @@ def prefetch_enabled() -> bool:
     engages on the fast path (the reference path stays a strictly
     sequential executable specification).
     """
-    if not enabled():
-        return False
-    return os.environ.get("REPRO_PREFETCH", "1").strip().lower() not in _FALSE
+    rt = _current()
+    return rt.fastpath_mode != "off" and rt.prefetch
 
 
 def shm_threshold() -> int | None:
@@ -120,18 +109,9 @@ def shm_threshold() -> int | None:
 
     ``None`` disables the shared-memory transport entirely: when the fast
     path is off (payloads are ``list[bytes]``, the reference wire format)
-    or ``REPRO_SHM_BYTES`` is unparsable / non-positive.
+    or ``REPRO_SHM_BYTES`` is non-positive.
     """
-    if not enabled():
-        return None
-    raw = os.environ.get("REPRO_SHM_BYTES", "").strip()
-    if not raw:
-        return DEFAULT_SHM_THRESHOLD
-    try:
-        val = int(raw)
-    except ValueError:
-        return DEFAULT_SHM_THRESHOLD
-    return val if val > 0 else None
+    return _current().shm_threshold
 
 
 class BlockRun:

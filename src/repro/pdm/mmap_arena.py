@@ -43,8 +43,8 @@ from typing import IO
 
 import numpy as np
 
-from repro.pdm import fastpath
 from repro.pdm.arena import TrackArena
+from repro.tune.runtime import RuntimeConfig, current
 from repro.util.validation import SimulationError
 
 
@@ -59,15 +59,12 @@ def _cleanup(files: "list[IO[bytes]]", path: str) -> None:
 
 
 def spill_quota() -> int | None:
-    """Per-arena spill byte limit from ``REPRO_SPILL_QUOTA`` (None = no cap)."""
-    raw = os.environ.get("REPRO_SPILL_QUOTA", "").strip()
-    if not raw:
-        return None
-    try:
-        val = int(raw)
-    except ValueError:
-        return None
-    return val if val > 0 else None
+    """Per-arena spill byte limit from ``REPRO_SPILL_QUOTA`` (None = no cap).
+
+    Parsed by the centralized knob layer: malformed values raise a named
+    :class:`~repro.tune.knobs.KnobError` instead of being ignored.
+    """
+    return current().spill_quota
 
 
 class MmapTrackArena(TrackArena):
@@ -76,10 +73,16 @@ class MmapTrackArena(TrackArena):
     __slots__ = ("spill_dir", "_files", "_quota", "_finalizer", "__weakref__")
 
     def __init__(
-        self, D: int, block_bytes: int, spill_dir: str | None = None
+        self,
+        D: int,
+        block_bytes: int,
+        spill_dir: str | None = None,
+        quota: int | None = None,
+        runtime: RuntimeConfig | None = None,
     ) -> None:
         super().__init__(D, block_bytes)
-        base = spill_dir or os.environ.get("REPRO_SPILL_DIR") or None
+        rt = runtime if runtime is not None else current()
+        base = spill_dir or rt.spill_dir or None
         if base is not None:
             os.makedirs(base, exist_ok=True)
         self.spill_dir = tempfile.mkdtemp(prefix="repro-arena-", dir=base)
@@ -87,7 +90,7 @@ class MmapTrackArena(TrackArena):
             open(os.path.join(self.spill_dir, f"disk{d}.bin"), "w+b")
             for d in range(D)
         ]
-        self._quota = spill_quota()
+        self._quota = quota if quota is not None else rt.spill_quota
         self._finalizer = weakref.finalize(
             self, _cleanup, self._files, self.spill_dir
         )
@@ -147,8 +150,15 @@ class MmapTrackArena(TrackArena):
         _cleanup(files, self.spill_dir)
 
 
-def make_arena(D: int, block_bytes: int) -> TrackArena:
-    """Build the track arena selected by ``REPRO_ARENA``."""
-    if fastpath.arena_kind() == "mmap":
-        return MmapTrackArena(D, block_bytes)
+def make_arena(
+    D: int, block_bytes: int, runtime: RuntimeConfig | None = None
+) -> TrackArena:
+    """Build the track arena selected by ``REPRO_ARENA``.
+
+    *runtime* is the engine's per-run knob snapshot; without one the
+    current environment is resolved on the spot (module-level callers).
+    """
+    rt = runtime if runtime is not None else current()
+    if rt.arena == "mmap":
+        return MmapTrackArena(D, block_bytes, runtime=rt)
     return TrackArena(D, block_bytes)

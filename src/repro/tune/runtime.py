@@ -1,0 +1,162 @@
+"""Per-run resolved snapshots of every runtime knob.
+
+A :class:`RuntimeConfig` is frozen: engines resolve one at the top of
+``run()`` and consult only the snapshot for the rest of the run, so
+flipping an environment variable mid-process affects the *next* run but
+never half-applies to one in flight (historically ``REPRO_FASTPATH``
+followed a flip while the arena choice, cached at import time, did not).
+
+Precedence, lowest to highest: registry default < tuned-profile entry <
+environment variable < explicit override (CLI flag / API argument).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from repro.tune import knobs
+from repro.tune.knobs import (
+    DEFAULT_AUTO_BLOCKS,
+    DEFAULT_SHM_THRESHOLD,
+    KNOB_BY_NAME,
+    KNOBS,
+    KnobError,
+)
+
+
+@dataclass(frozen=True)
+class RuntimeConfig:
+    """One fully-resolved, immutable set of knob values.
+
+    Field names match :data:`repro.tune.knobs.KNOBS` entries one-to-one;
+    the dataclass is picklable so the process-parallel coordinator ships
+    its snapshot to workers instead of trusting their inherited environ.
+    """
+
+    workers: int = 0
+    fastpath: str = "on"
+    arena: str = "ram"
+    prefetch: bool = True
+    shm_bytes: "int | None" = DEFAULT_SHM_THRESHOLD
+    spill_quota: "int | None" = None
+    spill_dir: "str | None" = None
+    trace: "str | None" = None
+    faults: "str | None" = None
+    profile: "str | None" = None
+
+    @property
+    def fastpath_mode(self) -> str:
+        """``on``, ``off``, or ``auto`` (threshold stripped)."""
+        return "auto" if self.fastpath.startswith("auto") else self.fastpath
+
+    @property
+    def fastpath_auto_blocks(self) -> int:
+        """Block threshold for auto dispatch (``auto:N`` suffix or default)."""
+        if self.fastpath.startswith("auto:"):
+            return int(self.fastpath[5:])
+        return DEFAULT_AUTO_BLOCKS
+
+    @property
+    def fastpath_storage(self) -> bool:
+        """Whether disk arrays use arena-backed storage.
+
+        Storage is mode-independent of per-superstep dispatch: ``auto``
+        keeps the arena so supersteps can flip between paths over the
+        same bytes.
+        """
+        return self.fastpath_mode != "off"
+
+    @property
+    def shm_threshold(self) -> "int | None":
+        """Effective shared-memory threshold (None = shm transport off)."""
+        if self.fastpath_mode == "off":
+            return None
+        return self.shm_bytes
+
+    def replace(self, **changes: Any) -> "RuntimeConfig":
+        return dataclasses.replace(self, **changes)
+
+    def knob_values(self) -> dict[str, Any]:
+        """Field-name → value for every registered knob."""
+        return {spec.name: getattr(self, spec.name) for spec in KNOBS}
+
+    @classmethod
+    def resolve(
+        cls,
+        overrides: "Mapping[str, Any] | None" = None,
+        profile: "Mapping[str, Any] | None" = None,
+        environ: "Mapping[str, str] | None" = None,
+    ) -> "RuntimeConfig":
+        """Resolve one snapshot with full precedence.
+
+        *profile* maps knob field names to values as found in a tuned
+        profile's ``config`` section; entries are validated through the
+        same parsers as environment input.  *overrides* are explicit
+        (CLI/API) values applied last; ``None`` entries are ignored so
+        callers can pass optional flags straight through.
+        """
+        env = os.environ if environ is None else environ
+        values: dict[str, Any] = {s.name: s.default for s in KNOBS}
+        if profile:
+            for name, val in profile.items():
+                spec = KNOB_BY_NAME.get(name)
+                if spec is None:
+                    raise KnobError(f"unknown knob {name!r} in tuned profile")
+                if val is None:
+                    values[name] = None
+                else:
+                    values[name] = spec.coerce(str(val))
+        for spec in KNOBS:
+            raw = env.get(spec.env)
+            if raw is not None and raw.strip():
+                values[spec.name] = spec.coerce(raw)
+        if overrides:
+            for name, val in overrides.items():
+                spec = KNOB_BY_NAME.get(name)
+                if spec is None:
+                    raise KnobError(f"unknown knob override {name!r}")
+                if val is None:
+                    continue
+                values[name] = spec.coerce(str(val)) if isinstance(val, str) else val
+        return cls(**values)
+
+    @classmethod
+    def from_env(
+        cls, environ: "Mapping[str, str] | None" = None
+    ) -> "RuntimeConfig":
+        return cls.resolve(environ=environ)
+
+
+def current() -> RuntimeConfig:
+    """The knob snapshot the current environment resolves to.
+
+    Deliberately uncached — engines capture the result once per run;
+    module-level callers (legacy ``fastpath.enabled()`` style accessors)
+    always see fresh environment state.
+    """
+    return RuntimeConfig.from_env()
+
+
+def apply_to_env(rt: RuntimeConfig) -> None:
+    """Mirror a snapshot into ``os.environ`` for child processes.
+
+    Only used by test helpers and the tuner's subprocess probes; the
+    engines themselves pass snapshots explicitly.
+    """
+    for spec in KNOBS:
+        val = getattr(rt, spec.name)
+        if val is None or val == spec.default:
+            knobs.set_env(spec.env, None)
+        else:
+            knobs.set_env(spec.env, _render(val))
+
+
+def _render(val: Any) -> str:
+    if val is True:
+        return "1"
+    if val is False:
+        return "0"
+    return str(val)

@@ -24,6 +24,7 @@ from repro.pdm.arena import MAX_DIRECT_TRACK, TrackArena
 from repro.pdm.block import blocks_for_bytes
 from repro.pdm.disk_array import DiskArray, greedy_batch_widths
 from repro.pdm.fastpath import BlockRun, BufferPool
+from repro.tune.knobs import KnobError
 from repro.util.items import ITEM_BYTES
 from repro.util.validation import SimulationError
 
@@ -292,7 +293,10 @@ def test_shm_threshold_knob(monkeypatch):
     assert fastpath.shm_threshold() == 4096
     monkeypatch.setenv("REPRO_SHM_BYTES", "0")
     assert fastpath.shm_threshold() is None
+    # malformed values are a hard, named error now (not a silent default)
     monkeypatch.setenv("REPRO_SHM_BYTES", "nonsense")
-    assert fastpath.shm_threshold() == fastpath.DEFAULT_SHM_THRESHOLD
+    with pytest.raises(KnobError, match="REPRO_SHM_BYTES"):
+        fastpath.shm_threshold()
+    monkeypatch.setenv("REPRO_SHM_BYTES", "4096")
     monkeypatch.setenv("REPRO_FASTPATH", "0")
     assert fastpath.shm_threshold() is None

@@ -343,3 +343,103 @@ class TestResilienceFlags:
         args = self.BASE + ["--engine", "memory", "--faults", self._plan(tmp_path)]
         assert main(args) == 3
         assert "error:" in capsys.readouterr().err
+
+
+class TestTuneCommand:
+    """repro tune, --profile application, and knob-error exits (rc 2)."""
+
+    TUNE = ["tune", "--n", "2048", "--probe-n", "512", "--reps", "1"]
+
+    def _tuned(self, tmp_path, capsys) -> str:
+        path = str(tmp_path / "profile.json")
+        assert main(self.TUNE + ["--out", path]) == 0
+        capsys.readouterr()
+        return path
+
+    def test_tune_writes_valid_profile(self, tmp_path, capsys):
+        path = str(tmp_path / "profile.json")
+        assert main(self.TUNE + ["--out", path]) == 0
+        out = capsys.readouterr().out
+        assert "chosen" in out and "apply with" in out
+        from repro.tune.profile import validate_profile
+
+        doc = json.loads(open(path).read())
+        assert validate_profile(doc) == []
+        assert doc["workload"] == {"op": "sort", "n": 2048, "p": 1, "seed": 0}
+
+    def test_tune_json_output(self, tmp_path, capsys):
+        path = str(tmp_path / "profile.json")
+        assert main(self.TUNE + ["--out", path, "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["kind"] == "repro-tuned-profile"
+
+    def test_tune_trace_records_decisions(self, tmp_path, capsys):
+        path = str(tmp_path / "profile.json")
+        trace = str(tmp_path / "t.jsonl")
+        assert main(self.TUNE + ["--out", path, "--trace", trace]) == 0
+        kinds = [e.get("kind") for e in read_jsonl(trace)]
+        assert "tune_begin" in kinds and "tune_probe" in kinds
+        assert kinds[-1] == "tune_end"
+
+    def test_list_knobs(self, capsys):
+        assert main(["tune", "--list-knobs"]) == 0
+        out = capsys.readouterr().out
+        assert "| Variable |" in out and "`REPRO_FASTPATH`" in out
+
+    def test_profile_fills_machine_args(self, tmp_path, capsys):
+        path = self._tuned(tmp_path, capsys)
+        doc = json.loads(open(path).read())
+        assert main(["sort", "--n", "2048", "--profile", path]) == 0
+        out = capsys.readouterr().out
+        assert f"v={doc['machine']['v']}" in out
+        assert f"D={doc['machine']['D']}" in out
+        assert f"B={doc['machine']['B']}" in out
+
+    def test_explicit_flag_beats_profile(self, tmp_path, capsys):
+        path = self._tuned(tmp_path, capsys)
+        assert main(["sort", "--n", "2048", "--profile", path, "--v", "16"]) == 0
+        assert "v=16" in capsys.readouterr().out
+
+    def test_missing_profile_exits_3(self, tmp_path, capsys):
+        rc = main(["sort", "--n", "2048", "--profile", str(tmp_path / "no.json")])
+        assert rc == 3
+        assert "error:" in capsys.readouterr().err
+
+    def test_invalid_profile_exits_3(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"kind": "something-else"}))
+        assert main(["sort", "--n", "2048", "--profile", str(bad)]) == 3
+        assert "error:" in capsys.readouterr().err
+
+
+class TestKnobErrors:
+    """Malformed REPRO_* values: one-line named diagnostic, exit code 2."""
+
+    BASE = ["sort", "--n", "2048", "--v", "4", "--b", "64"]
+
+    @pytest.mark.parametrize(
+        "var,raw",
+        [
+            ("REPRO_WORKERS", "two"),
+            ("REPRO_FASTPATH", "sometimes"),
+            ("REPRO_ARENA", "tape"),
+            ("REPRO_PREFETCH", "maybe"),
+            ("REPRO_SHM_BYTES", "nonsense"),
+            ("REPRO_SPILL_QUOTA", "lots"),
+        ],
+    )
+    def test_malformed_knob_exits_2_with_named_error(
+        self, monkeypatch, capsys, var, raw
+    ):
+        monkeypatch.setenv(var, raw)
+        assert main(self.BASE) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: ")
+        assert var in err and raw in err
+        assert "Traceback" not in err
+        assert err.count("\n") == 1  # exactly one line
+
+    def test_well_formed_knob_still_runs(self, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_FASTPATH", "auto:16")
+        assert main(self.BASE) == 0
+        assert "sorted 2048 items: OK" in capsys.readouterr().out

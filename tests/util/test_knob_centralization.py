@@ -1,0 +1,33 @@
+"""Lint: every ``REPRO_*`` environment read goes through the knob registry.
+
+The tentpole's centralization contract — ad-hoc ``os.environ`` reads of
+runtime knobs are how the inconsistent-caching bug happened, so outside
+``repro.tune`` none may exist.  (CI runs the same grep as a workflow
+step; this test keeps the guarantee enforced locally too.)
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import repro
+
+#: an os.environ read or subscript whose key literal is a REPRO_ variable
+_PATTERN = re.compile(r"os\.environ(\.get)?\s*[(\[]\s*[\"']REPRO_")
+
+
+def test_no_raw_repro_environ_access_outside_tune():
+    src_root = Path(repro.__file__).resolve().parent
+    offenders = []
+    for path in sorted(src_root.rglob("*.py")):
+        if src_root / "tune" in path.parents:
+            continue
+        for lineno, line in enumerate(path.read_text().splitlines(), 1):
+            if _PATTERN.search(line):
+                offenders.append(f"{path.relative_to(src_root)}:{lineno}: {line.strip()}")
+    assert not offenders, (
+        "raw REPRO_* environment access outside repro.tune (use "
+        "repro.tune.runtime.current()/RuntimeConfig or knobs.set_env):\n"
+        + "\n".join(offenders)
+    )
