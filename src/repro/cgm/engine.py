@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Any
+from typing import TYPE_CHECKING, Any, Callable
 
 from repro.cgm.config import MachineConfig
 from repro.cgm.message import Message
@@ -38,7 +38,7 @@ from repro.cgm.program import CGMProgram, Context, RoundEnv
 from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry
 from repro.obs.trace import NULL_RECORDER, TraceRecorder
 from repro.util.rng import spawn_rngs
-from repro.util.validation import ConfigurationError, SimulationError
+from repro.util.validation import ConfigurationError, PreemptedError, SimulationError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations only
     from repro.faults.checkpoint import CheckpointManager
@@ -130,6 +130,12 @@ class Engine:
         self._rt: "RuntimeConfig | None" = None
         #: last snapshot written this run (crash recovery re-reads it).
         self._last_ckpt: dict[str, Any] | None = None
+        #: optional preemption probe, set post-construction (the job
+        #: server's worker pool).  Polled at every round boundary *after*
+        #: the checkpoint write; returning true aborts the run with
+        #: :class:`~repro.util.validation.PreemptedError`, so with a
+        #: checkpoint manager attached the run resumes bit-identically.
+        self.preempt: "Callable[[], bool] | None" = None
 
     # ------------------------------------------------------------------ hooks
 
@@ -522,6 +528,23 @@ class Engine:
             self._round_boundary(r)
             finished = all_done and not self._pending_messages()
             self._write_checkpoint(program, r, report, rngs, finished)
+            if not finished and self.preempt is not None and self.preempt():
+                # the snapshot for round r is already on disk, so the
+                # preempted run resumes bit-identically from round r + 1
+                if tr.enabled:
+                    tr.emit(
+                        "preempt",
+                        round=r,
+                        resumable=self.checkpoint is not None,
+                    )
+                raise PreemptedError(
+                    f"run preempted after round {r}"
+                    + (
+                        " (checkpointed; resume to continue)"
+                        if self.checkpoint is not None
+                        else " (no checkpoint directory — progress lost)"
+                    )
+                )
             r += 1
             if not finished and r > MAX_ROUNDS:
                 raise SimulationError(

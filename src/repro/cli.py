@@ -539,7 +539,27 @@ def _exit_broken_pipe() -> int:
     return 0
 
 
-def cmd_serve(args) -> int:
+def _bind_error(host: str, port: int, exc: OSError) -> int:
+    """One-line bind failure, exit code 2 (usage-error convention).
+
+    ``EADDRINUSE`` gets its own message naming the port — the common
+    operator mistake (a previous server still running) should not read
+    like an internal failure, let alone a traceback.
+    """
+    import errno
+
+    if exc.errno == errno.EADDRINUSE:
+        print(
+            f"error: port {port} on {host} is already in use "
+            f"(is another server running? pick a different --port)",
+            file=sys.stderr,
+        )
+    else:
+        print(f"error: cannot bind {host}:{port}: {exc}", file=sys.stderr)
+    return 2
+
+
+def cmd_serve_metrics(args) -> int:
     import signal
     import threading
 
@@ -556,8 +576,7 @@ def cmd_serve(args) -> int:
             bus=bus, registry=registry, host=args.host, port=args.port
         ).start()
     except OSError as exc:
-        print(f"error: cannot bind {args.host}:{args.port}: {exc}", file=sys.stderr)
-        return 2
+        return _bind_error(args.host, args.port, exc)
 
     stop = threading.Event()
     for sig in (signal.SIGINT, signal.SIGTERM):
@@ -602,6 +621,145 @@ def cmd_serve(args) -> int:
         if drifts:
             print(f"  model drift      : {drifts} superstep(s) over budget")
     return 0
+
+
+def cmd_serve(args) -> int:
+    """The multi-tenant job server (``repro serve``); SIGTERM drains."""
+    import signal
+    import threading
+
+    from repro.service.server import JobServer, ServiceCore
+
+    core = ServiceCore(
+        state_dir=args.state_dir,
+        pool_size=args.pool,
+        queue_capacity=args.queue_cap,
+        tenant_quota=args.tenant_quota,
+        cache_capacity=args.cache_cap,
+    )
+    try:
+        server = JobServer(core, host=args.host, port=args.port).start()
+    except OSError as exc:
+        core.drain(timeout=5.0)
+        return _bind_error(args.host, args.port, exc)
+
+    stop = threading.Event()
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        signal.signal(sig, lambda signum, frame: stop.set())
+
+    print(
+        f"serving on {server.url}  "
+        f"(submit: POST {server.url}/jobs, metrics: {server.url}/metrics)",
+        flush=True,
+    )
+    print(
+        f"  pool={args.pool} queue={args.queue_cap} "
+        f"tenant-quota={args.tenant_quota} cache={args.cache_cap} "
+        f"state={core.state_dir}",
+        flush=True,
+    )
+    while not stop.is_set():
+        stop.wait(0.5)
+    persisted = core.drain(timeout=args.drain_timeout)
+    server.close()
+    states: dict[str, int] = {}
+    for job in core.jobs.values():
+        states[job.state] = states.get(job.state, 0) + 1
+    summary = " ".join(f"{k}={v}" for k, v in sorted(states.items())) or "none"
+    print(f"drained: persisted {persisted} job(s), jobs seen: {summary}", flush=True)
+    return 0
+
+
+def cmd_submit(args) -> int:
+    """Submit a spec file to a running ``repro serve`` (or run it locally)."""
+    import json as _json
+
+    from repro.service.client import (
+        ServiceClientError,
+        run_spec_local,
+        stream_job,
+        submit_job,
+        wait_job,
+    )
+
+    if args.spec == "-":
+        raw = sys.stdin.read()
+    else:
+        try:
+            with open(args.spec, encoding="utf-8") as fh:
+                raw = fh.read()
+        except OSError as exc:
+            print(f"error: cannot read spec {args.spec!r}: {exc}", file=sys.stderr)
+            return 2
+    try:
+        doc = _json.loads(raw)
+    except _json.JSONDecodeError as exc:
+        print(f"error: spec is not JSON: {exc}", file=sys.stderr)
+        return 2
+
+    if args.local:
+        # the CI service lane's bit-identity reference: same executor,
+        # same result document, no server involved
+        result = run_spec_local(doc)
+        print(_json.dumps(result, indent=None if args.json else 2, sort_keys=True))
+        return 0 if result["result"]["ok"] else 1
+
+    try:
+        status, headers, body = submit_job(args.url, doc, timeout_s=args.timeout)
+    except ServiceClientError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 3
+    if status not in (200, 202):
+        retry = headers.get("Retry-After")
+        hint = f" (Retry-After: {retry}s)" if retry else ""
+        print(
+            f"error: server refused the job ({status}): "
+            f"{body.get('error', body)}{hint}",
+            file=sys.stderr,
+        )
+        return 2
+    cache = headers.get("X-Repro-Cache", "miss")
+    job_id = body["id"]
+    if not args.json:
+        print(f"job {job_id} {body['state']} (cache: {cache})", flush=True)
+    if args.stream:
+        try:
+            for ev in stream_job(args.url, job_id, timeout_s=args.timeout):
+                print(_json.dumps(ev), flush=True)
+        except ServiceClientError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 3
+    if not (args.wait or args.stream):
+        if args.json:
+            print(_json.dumps(body, sort_keys=True))
+        return 0
+    try:
+        final = wait_job(args.url, job_id, timeout_s=args.timeout)
+    except ServiceClientError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 3
+    final["cache"] = cache
+    if args.json:
+        print(_json.dumps(final, sort_keys=True))
+    else:
+        result = final.get("result") or {}
+        print(
+            f"job {job_id} {final['state']}"
+            + (
+                f"  ok={result.get('ok')} ios="
+                f"{result.get('counters', {}).get('io', {}).get('parallel_ios')}"
+                f" sha={str(result.get('output_sha256'))[:12]}"
+                if result
+                else ""
+            )
+        )
+    if final["state"] != "done":
+        print(
+            f"error: job ended {final['state']}: {final.get('error', '')}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0 if (final.get("result") or {}).get("ok") else 1
 
 
 def _benchmarks_dir(args) -> "str | None":
@@ -859,7 +1017,77 @@ def build_parser() -> argparse.ArgumentParser:
         help="shut down when the workload finishes instead of serving "
         "until a signal arrives",
     )
+    p.set_defaults(fn=cmd_serve_metrics)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the multi-tenant simulation job server: POST /jobs specs, "
+        "bounded per-tenant queue with backpressure, checkpoint-preemptible "
+        "worker pool, fingerprint result cache, per-job SSE streams; "
+        "SIGTERM drains (checkpoint + persist the queue) and exits 0",
+    )
+    p.add_argument("--host", default="127.0.0.1", help="bind address")
+    p.add_argument(
+        "--port", type=int, default=8799, help="bind port (0 = auto-pick)"
+    )
+    p.add_argument(
+        "--pool", type=int, default=2, metavar="N",
+        help="worker threads executing jobs (default 2)",
+    )
+    p.add_argument(
+        "--queue-cap", type=int, default=64, metavar="N",
+        help="pending-job bound before 429 backpressure (default 64)",
+    )
+    p.add_argument(
+        "--tenant-quota", type=int, default=16, metavar="N",
+        help="max queued+running jobs per tenant (default 16)",
+    )
+    p.add_argument(
+        "--cache-cap", type=int, default=256, metavar="N",
+        help="result-cache entries (default 256)",
+    )
+    p.add_argument(
+        "--state-dir", default="repro_serve_state", metavar="DIR",
+        help="checkpoints + persisted queue live here (default "
+        "./repro_serve_state); restart on the same dir resumes drained jobs",
+    )
+    p.add_argument(
+        "--drain-timeout", type=float, default=30.0, metavar="S",
+        help="seconds SIGTERM waits for in-flight jobs to checkpoint",
+    )
     p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser(
+        "submit",
+        help="submit a job-spec JSON file to a running 'repro serve' "
+        "(or --local to run the same spec in-process for comparison)",
+    )
+    p.add_argument("spec", help="path to the spec JSON ('-' reads stdin)")
+    p.add_argument(
+        "--url", default="http://127.0.0.1:8799",
+        help="base URL of the job server",
+    )
+    p.add_argument(
+        "--wait", action="store_true",
+        help="poll until the job reaches a terminal state",
+    )
+    p.add_argument(
+        "--stream", action="store_true",
+        help="stream the job's SSE events to stdout (implies --wait)",
+    )
+    p.add_argument(
+        "--local", action="store_true",
+        help="run the spec in-process through the server's executor "
+        "instead of submitting (the CI bit-identity reference)",
+    )
+    p.add_argument(
+        "--json", action="store_true", help="print the final job document as JSON"
+    )
+    p.add_argument(
+        "--timeout", type=float, default=300.0, metavar="S",
+        help="overall wait/stream timeout in seconds",
+    )
+    p.set_defaults(fn=cmd_submit)
 
     p = sub.add_parser(
         "tune",

@@ -228,6 +228,59 @@ class MetricsRegistry:
                 fh.write(self.render_prometheus())
 
 
+class _ScopedMetric(Metric):
+    """A family view that merges fixed labels into every series lookup.
+
+    Caller-supplied labels win on collision so a scoped view can never
+    silently shadow an explicit label.
+    """
+
+    def __init__(self, metric: Metric, scope: dict[str, str]) -> None:
+        super().__init__(metric.name, metric.series_cls, metric.help)
+        self._metric = metric
+        self._scope = scope
+
+    def labels(self, **labels: Any) -> Any:
+        return self._metric.labels(**{**self._scope, **labels})
+
+
+class ScopedRegistry(MetricsRegistry):
+    """A :class:`MetricsRegistry` view that injects fixed labels.
+
+    The job server hands each worker a scope carrying the job's tenant
+    (and job id) so every engine-emitted series — parallel I/Os, rounds,
+    compute seconds — lands in the shared registry with per-tenant
+    labels, queryable straight off ``/metrics``.  Family registration,
+    series storage and export all stay on the underlying registry; only
+    ``labels()`` lookups are rewritten.
+    """
+
+    def __init__(self, registry: MetricsRegistry, **scope: Any) -> None:
+        super().__init__()
+        self.registry = registry
+        self.scope = {k: str(v) for k, v in scope.items()}
+        self.enabled = registry.enabled
+
+    def _get(self, name: str, cls: type[_Series], help: str) -> Metric:
+        return _ScopedMetric(self.registry._get(name, cls, help), self.scope)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.registry
+
+    def __getitem__(self, name: str) -> Metric:
+        return self.registry[name]
+
+    @property
+    def metrics(self) -> list[Metric]:
+        return self.registry.metrics
+
+    def snapshot(self) -> dict[str, Any]:
+        return self.registry.snapshot()
+
+    def render_prometheus(self) -> str:
+        return self.registry.render_prometheus()
+
+
 class _NullSeries(_Series):
     """Accepts every mutation, records nothing."""
 

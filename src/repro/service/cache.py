@@ -1,0 +1,68 @@
+"""Fingerprint-keyed result cache.
+
+The key is :meth:`repro.service.spec.JobSpec.fingerprint` — the tuned-
+profile sha256 over the canonical workload identity plus the stable
+host fingerprint.  Because every knob and backend choice excluded from
+that identity is bit-identity-preserving by construction, a hit can be
+served to any tenant without re-running: same counters, same output
+hash, same verification verdict.
+
+Plain bounded FIFO eviction (insertion order, refreshed on hit), sized
+in *entries* — result documents are small (counters + hashes, never
+output arrays).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any
+
+
+class ResultCache:
+    """Thread-safe bounded mapping fingerprint -> result document."""
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity < 1:
+            raise ValueError(f"cache capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._docs: OrderedDict[str, dict[str, Any]] = OrderedDict()
+        self._lock = threading.Lock()
+
+    def get(self, fingerprint: str) -> dict[str, Any] | None:
+        with self._lock:
+            doc = self._docs.get(fingerprint)
+            if doc is None:
+                self.misses += 1
+                return None
+            self.hits += 1
+            self._docs.move_to_end(fingerprint)
+            return doc
+
+    def put(self, fingerprint: str, doc: dict[str, Any]) -> None:
+        with self._lock:
+            self._docs[fingerprint] = doc
+            self._docs.move_to_end(fingerprint)
+            while len(self._docs) > self.capacity:
+                self._docs.popitem(last=False)
+                self.evictions += 1
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._docs)
+
+    def __contains__(self, fingerprint: str) -> bool:
+        with self._lock:
+            return fingerprint in self._docs
+
+    def stats(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                "entries": len(self._docs),
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }

@@ -1,0 +1,144 @@
+"""urllib client helpers for the job server (no dependencies).
+
+Backs the ``repro submit`` subcommand and the CI service lane.
+:func:`run_spec_local` executes the same spec in-process through the
+exact executor the server uses, so callers can assert that a served
+result is bit-identical to a direct run (the service-lane acceptance
+check) without shipping output arrays over HTTP.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Iterator
+
+from repro.obs.live import iter_sse
+from repro.service.jobs import TERMINAL
+from repro.service.pool import execute_spec
+from repro.service.spec import JobSpec
+
+DEFAULT_TIMEOUT_S = 10.0
+
+
+class ServiceClientError(RuntimeError):
+    """A request failed at the transport or HTTP layer."""
+
+    def __init__(self, message: str, status: int | None = None) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+def request_json(
+    method: str,
+    url: str,
+    body: Any = None,
+    timeout_s: float = DEFAULT_TIMEOUT_S,
+) -> tuple[int, dict[str, str], Any]:
+    """One JSON request; HTTP error codes are returned, not raised.
+
+    Returns ``(status, headers, parsed_body)``.  Only transport failures
+    (connection refused, timeout) raise :class:`ServiceClientError`.
+    """
+    data = None if body is None else json.dumps(body).encode("utf-8")
+    req = urllib.request.Request(
+        url, data=data, method=method,
+        headers={"Content-Type": "application/json"} if data else {},
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=timeout_s) as resp:
+            raw = resp.read().decode("utf-8")
+            headers = {k: v for k, v in resp.headers.items()}
+            status = resp.status
+    except urllib.error.HTTPError as exc:
+        raw = exc.read().decode("utf-8", errors="replace")
+        headers = {k: v for k, v in exc.headers.items()}
+        status = exc.code
+    except urllib.error.URLError as exc:
+        raise ServiceClientError(f"cannot reach {url}: {exc.reason}") from None
+    try:
+        parsed = json.loads(raw) if raw else {}
+    except json.JSONDecodeError:
+        parsed = {"raw": raw}
+    return status, headers, parsed
+
+
+def submit_job(
+    base_url: str, doc: Any, timeout_s: float = DEFAULT_TIMEOUT_S
+) -> tuple[int, dict[str, str], Any]:
+    """POST the spec; returns ``(status, headers, job_doc_or_error)``."""
+    return request_json("POST", base_url.rstrip("/") + "/jobs", doc, timeout_s)
+
+
+def get_job(
+    base_url: str, job_id: str, timeout_s: float = DEFAULT_TIMEOUT_S
+) -> dict[str, Any]:
+    status, _, doc = request_json(
+        "GET", f"{base_url.rstrip('/')}/jobs/{job_id}", timeout_s=timeout_s
+    )
+    if status != 200:
+        raise ServiceClientError(
+            f"GET /jobs/{job_id} -> {status}: {doc.get('error', doc)}", status
+        )
+    return doc
+
+
+def cancel_job(
+    base_url: str, job_id: str, timeout_s: float = DEFAULT_TIMEOUT_S
+) -> dict[str, Any]:
+    status, _, doc = request_json(
+        "POST", f"{base_url.rstrip('/')}/jobs/{job_id}/cancel", timeout_s=timeout_s
+    )
+    if status != 200:
+        raise ServiceClientError(
+            f"POST /jobs/{job_id}/cancel -> {status}: {doc.get('error', doc)}",
+            status,
+        )
+    return doc
+
+
+def wait_job(
+    base_url: str,
+    job_id: str,
+    timeout_s: float = 300.0,
+    poll_s: float = 0.2,
+) -> dict[str, Any]:
+    """Poll until the job reaches a terminal state; returns its document."""
+    deadline = time.monotonic() + timeout_s
+    while True:
+        doc = get_job(base_url, job_id)
+        if doc.get("state") in TERMINAL:
+            return doc
+        if time.monotonic() >= deadline:
+            raise ServiceClientError(
+                f"job {job_id} still {doc.get('state')!r} after {timeout_s}s"
+            )
+        time.sleep(poll_s)
+
+
+def stream_job(
+    base_url: str, job_id: str, timeout_s: float = 300.0
+) -> Iterator[dict[str, Any]]:
+    """Yield the job's SSE events until its ``end`` frame."""
+    return iter_sse(
+        f"{base_url.rstrip('/')}/jobs/{job_id}/events", timeout_s=timeout_s
+    )
+
+
+def run_spec_local(doc: Any) -> dict[str, Any]:
+    """Run a spec in-process through the server's executor.
+
+    The returned document mirrors ``GET /jobs/<id>`` closely enough for
+    bit-identity assertions: ``result`` is the same result document a
+    worker would produce for this spec (counters, output hash, verdict).
+    """
+    spec = JobSpec.from_dict(doc)
+    return {
+        "state": "done",
+        "cache": "local",
+        "spec": spec.to_dict(),
+        "fingerprint": spec.fingerprint(),
+        "result": execute_spec(spec),
+    }

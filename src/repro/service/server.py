@@ -1,0 +1,527 @@
+"""`repro serve`: the multi-tenant job server.
+
+Split in two so everything interesting is testable without sockets:
+
+* :class:`ServiceCore` — submit / status / cancel / drain over the
+  queue, pool, cache and metrics (no HTTP anywhere);
+* :class:`JobServer` — a :class:`ThreadingHTTPServer` (same skeleton as
+  :class:`repro.obs.server.ObsServer`) translating HTTP to core calls.
+
+Endpoints::
+
+    POST /jobs               submit a spec      202 queued | 200 cached
+                             (X-Repro-Cache: hit|miss on both)
+                             400 invalid | 429 + Retry-After | 503 draining
+    GET  /jobs               queue + job summaries
+    GET  /jobs/<id>          full job document (result when done)
+    GET  /jobs/<id>/events   per-job SSE stream (engine trace + lifecycle)
+    POST /jobs/<id>/cancel   cancel (queued dies now, running at boundary)
+    GET  /metrics            Prometheus text, per-tenant labels
+    GET  /healthz            liveness + depth + drain flag
+
+SIGTERM drain (the CLI wires the signal): stop admitting (503), preempt
+in-flight jobs so they checkpoint at the next round boundary, persist
+the pending + preempted set to ``<state_dir>/queue.json``, and exit 0.
+A server restarted on the same state dir re-enqueues those jobs with
+``resume=True`` — they continue from their snapshots bit-identically.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+from urllib.parse import urlparse
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import _jsonable
+from repro.service.cache import ResultCache
+from repro.service.jobs import CANCELLED, DONE, PREEMPTED, QUEUED, Job, ServiceError
+from repro.service.pool import WorkerPool
+from repro.service.queue import BackpressureError, JobQueue
+from repro.service.spec import JobSpec
+from repro.util.validation import ConfigurationError
+
+#: seconds an idle SSE stream waits between polls (close() latency bound)
+_SSE_POLL_S = 0.5
+_SSE_KEEPALIVE_POLLS = 10
+
+#: submissions beyond this many retained finished jobs evict the oldest
+_MAX_FINISHED = 1024
+
+QUEUE_STATE_FILE = "queue.json"
+
+
+class DrainingError(ServiceError):
+    """The server is shutting down and refuses new submissions (503)."""
+
+
+class UnknownJobError(ServiceError):
+    """No job with that id (404)."""
+
+
+class ServiceCore:
+    """The job server minus HTTP; every endpoint is one method here."""
+
+    def __init__(
+        self,
+        state_dir: str,
+        registry: MetricsRegistry | None = None,
+        pool_size: int = 2,
+        queue_capacity: int = 64,
+        tenant_quota: int = 16,
+        cache_capacity: int = 256,
+        start: bool = True,
+    ) -> None:
+        self.state_dir = state_dir
+        os.makedirs(state_dir, exist_ok=True)
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.queue = JobQueue(capacity=queue_capacity, tenant_quota=tenant_quota)
+        self.cache = ResultCache(capacity=cache_capacity)
+        self.pool = WorkerPool(self.queue, self.cache, self.registry, size=pool_size)
+        self.pool.on_terminal = self._on_terminal
+        self.jobs: dict[str, Job] = {}
+        self._jobs_lock = threading.Lock()
+        self._seq = itertools.count(1)
+        self._draining = threading.Event()
+        self._drained = threading.Event()
+        self._restore_state()
+        if start:
+            self.start()
+
+    def start(self) -> "ServiceCore":
+        self.pool.start()
+        return self
+
+    # -- metrics helpers -----------------------------------------------------
+
+    def _counter(self, name: str, help: str, **labels: Any) -> None:
+        if self.registry.enabled:
+            self.registry.counter(name, help).labels(**labels).inc()
+
+    def _refresh_gauges(self) -> None:
+        if not self.registry.enabled:
+            return
+        self.registry.gauge(
+            "repro_service_queue_depth", "jobs waiting for a worker"
+        ).labels().set(self.queue.depth)
+        stats = self.cache.stats()
+        self.registry.gauge(
+            "repro_service_cache_entries", "result-cache entries"
+        ).labels().set(stats["entries"])
+
+    # -- submission ----------------------------------------------------------
+
+    def _new_job_id(self) -> str:
+        with self._jobs_lock:
+            while True:
+                job_id = f"j{next(self._seq):05d}"
+                if job_id not in self.jobs:
+                    return job_id
+
+    def _register(self, job: Job) -> None:
+        with self._jobs_lock:
+            self.jobs[job.id] = job
+            finished = [j for j in self.jobs.values() if j.terminal]
+            if len(finished) > _MAX_FINISHED:
+                finished.sort(key=lambda j: j.finished_s or 0.0)
+                for old in finished[: len(finished) - _MAX_FINISHED]:
+                    del self.jobs[old.id]
+
+    def submit(self, doc: Any) -> tuple[Job, bool]:
+        """Validate and admit one spec; returns ``(job, served_from_cache)``.
+
+        Raises :class:`ConfigurationError` (400), :class:`BackpressureError`
+        (429) or :class:`DrainingError` (503).
+        """
+        if self._draining.is_set():
+            raise DrainingError("server is draining; resubmit elsewhere or later")
+        spec = JobSpec.from_dict(doc)
+        job_id = self._new_job_id()
+        job = Job(job_id, spec, os.path.join(self.state_dir, "ckpt", job_id))
+        self._counter(
+            "repro_service_jobs_submitted_total", "specs accepted for validation",
+            tenant=spec.tenant,
+        )
+        cached = self.cache.get(job.fingerprint)
+        if cached is not None:
+            job.result = cached
+            job.cache = "hit"
+            self._register(job)
+            self._counter(
+                "repro_service_cache_hits_total",
+                "jobs served from the result cache", tenant=spec.tenant,
+            )
+            job.set_state(DONE)
+            self._record_terminal_metrics(job)
+            return job, True
+        self._counter(
+            "repro_service_cache_misses_total",
+            "submissions that had to run", tenant=spec.tenant,
+        )
+        self._register(job)
+        try:
+            self.queue.submit(job)
+        except BackpressureError:
+            with self._jobs_lock:
+                self.jobs.pop(job.id, None)
+            self._counter(
+                "repro_service_rejected_total",
+                "submissions refused by backpressure", tenant=spec.tenant,
+            )
+            raise
+        self._refresh_gauges()
+        victim = self.pool.maybe_preempt(job)
+        if victim is not None:
+            self._counter(
+                "repro_service_preemptions_total",
+                "running jobs evicted for a higher-priority tenant",
+                tenant=victim.spec.tenant,
+            )
+        return job, False
+
+    # -- status / cancel -----------------------------------------------------
+
+    def get(self, job_id: str) -> Job:
+        with self._jobs_lock:
+            job = self.jobs.get(job_id)
+        if job is None:
+            raise UnknownJobError(f"no such job {job_id!r}")
+        return job
+
+    def summaries(self) -> list[dict[str, Any]]:
+        with self._jobs_lock:
+            jobs = sorted(self.jobs.values(), key=lambda j: j.id)
+        return [j.to_summary() for j in jobs]
+
+    def cancel(self, job_id: str) -> Job:
+        """Cancel a job; terminal jobs are left untouched (idempotent)."""
+        job = self.get(job_id)
+        if job.terminal:
+            return job
+        if self.queue.remove(job):
+            job.request_cancel()
+            job.set_state(CANCELLED)
+            self._on_terminal(job)
+        else:
+            # running (or mid-requeue): the pool observes the flag at the
+            # next round boundary / dispatch and finalizes the state
+            job.request_cancel()
+        return job
+
+    # -- terminal bookkeeping -------------------------------------------------
+
+    def _record_terminal_metrics(self, job: Job) -> None:
+        self._counter(
+            "repro_service_jobs_total", "jobs by terminal state",
+            tenant=job.spec.tenant, state=job.state,
+        )
+        if self.registry.enabled and job.finished_s is not None:
+            self.registry.timer(
+                "repro_service_job_seconds", "submit-to-terminal latency"
+            ).labels(tenant=job.spec.tenant).observe(
+                job.finished_s - job.submitted_s
+            )
+        self._refresh_gauges()
+
+    def _on_terminal(self, job: Job) -> None:
+        if job.enqueue_seq >= 0:
+            self.queue.release(job)
+        self._record_terminal_metrics(job)
+
+    # -- drain / restore ------------------------------------------------------
+
+    @property
+    def draining(self) -> bool:
+        return self._draining.is_set()
+
+    def drain(self, timeout: float = 30.0) -> int:
+        """SIGTERM path: stop admitting, checkpoint in-flight jobs,
+        persist pending + preempted, close event streams.  Returns how
+        many jobs were persisted (idempotent; later calls return 0)."""
+        if self._draining.is_set():
+            self._drained.wait(timeout)
+            return 0
+        self._draining.set()
+        self.pool.stop()
+        self.pool.join(timeout=timeout)
+        with self._jobs_lock:
+            preempted = [j for j in self.jobs.values() if j.state == PREEMPTED]
+        saved = self.queue.persist(
+            os.path.join(self.state_dir, QUEUE_STATE_FILE), extra=preempted
+        )
+        with self._jobs_lock:
+            open_jobs = [j for j in self.jobs.values() if not j.terminal]
+        for job in open_jobs:
+            job.bus.close()  # end any SSE streams; state stays resumable
+        self._drained.set()
+        return saved
+
+    def _restore_state(self) -> None:
+        path = os.path.join(self.state_dir, QUEUE_STATE_FILE)
+        docs = JobQueue.load_persisted(path)
+        if not docs:
+            return
+        for doc in docs:
+            spec = JobSpec.from_dict(doc["spec"])
+            job = Job(
+                str(doc["id"]), spec,
+                doc.get("ckpt_dir")
+                or os.path.join(self.state_dir, "ckpt", str(doc["id"])),
+            )
+            job.attempts = int(doc.get("attempts", 0))
+            job.preemptions = int(doc.get("preemptions", 0))
+            job.resume = bool(doc.get("resume", False))
+            self._register(job)
+            try:
+                self.queue.submit(job)
+            except BackpressureError:  # smaller queue than the old server's
+                with self._jobs_lock:
+                    self.jobs.pop(job.id, None)
+        os.remove(path)
+        self._refresh_gauges()
+
+
+class _ServiceHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer carrying the core for its handlers."""
+
+    daemon_threads = True
+
+    def __init__(self, addr: tuple[str, int], core: ServiceCore) -> None:
+        super().__init__(addr, _Handler)
+        self.core = core
+        self.closing = threading.Event()
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server: _ServiceHTTPServer
+
+    def log_message(self, format: str, *args: Any) -> None:
+        pass  # tests and CI hammer the API; default logging drowns stdout
+
+    # -- response helpers ----------------------------------------------------
+
+    def _json(
+        self, code: int, doc: Any, headers: dict[str, str] | None = None
+    ) -> None:
+        payload = (json.dumps(doc) + "\n").encode("utf-8")
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(payload)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def _text(self, code: int, body: str, content_type: str) -> None:
+        payload = body.encode("utf-8")
+        self.send_response(code)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    # -- routing -------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        path = urlparse(self.path).path
+        try:
+            if path == "/metrics":
+                self._metrics()
+            elif path in ("/", "/healthz"):
+                self._healthz()
+            elif path == "/jobs":
+                self._list_jobs()
+            elif path.startswith("/jobs/") and path.endswith("/events"):
+                self._events(path.split("/")[2])
+            elif path.startswith("/jobs/"):
+                self._job_doc(path.split("/")[2])
+            else:
+                self._json(404, {"error": f"no route {path}"})
+        except UnknownJobError as exc:
+            self._json(404, {"error": str(exc)})
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # client went away mid-response
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        path = urlparse(self.path).path
+        try:
+            if path == "/jobs":
+                self._submit()
+            elif path.startswith("/jobs/") and path.endswith("/cancel"):
+                self._cancel(path.split("/")[2])
+            else:
+                self._json(404, {"error": f"no route {path}"})
+        except UnknownJobError as exc:
+            self._json(404, {"error": str(exc)})
+        except (BrokenPipeError, ConnectionResetError):
+            pass
+
+    # -- endpoints -----------------------------------------------------------
+
+    def _read_body(self) -> Any:
+        length = int(self.headers.get("Content-Length", "0"))
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            raise ConfigurationError("empty request body (expected a JSON spec)")
+        try:
+            return json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(f"request body is not JSON: {exc}") from None
+
+    def _submit(self) -> None:
+        core = self.server.core
+        try:
+            job, cached = core.submit(self._read_body())
+        except DrainingError as exc:
+            self._json(503, {"error": str(exc)}, {"Retry-After": "30"})
+            return
+        except BackpressureError as exc:
+            self._json(
+                429, {"error": str(exc)},
+                {"Retry-After": str(exc.retry_after_s)},
+            )
+            return
+        except ConfigurationError as exc:
+            self._json(400, {"error": str(exc)})
+            return
+        self._json(
+            200 if cached else 202,
+            job.to_doc(),
+            {"X-Repro-Cache": job.cache, "Location": f"/jobs/{job.id}"},
+        )
+
+    def _cancel(self, job_id: str) -> None:
+        job = self.server.core.cancel(job_id)
+        self._json(200, job.to_doc())
+
+    def _list_jobs(self) -> None:
+        core = self.server.core
+        self._json(
+            200,
+            {
+                "jobs": core.summaries(),
+                "queue_depth": core.queue.depth,
+                "draining": core.draining,
+                "cache": core.cache.stats(),
+            },
+        )
+
+    def _job_doc(self, job_id: str) -> None:
+        self._json(200, self.server.core.get(job_id).to_doc())
+
+    def _healthz(self) -> None:
+        core = self.server.core
+        self._json(
+            200,
+            {
+                "status": "draining" if core.draining else "ok",
+                "jobs": len(core.jobs),
+                "queue_depth": core.queue.depth,
+            },
+        )
+
+    def _metrics(self) -> None:
+        core = self.server.core
+        core._refresh_gauges()
+        self._text(
+            200, core.registry.render_prometheus(),
+            "text/plain; version=0.0.4; charset=utf-8",
+        )
+
+    def _events(self, job_id: str) -> None:
+        """Per-job SSE: replay the bus buffer, then stream live events
+        until the job reaches a terminal state (bus closed -> end frame)."""
+        job = self.server.core.get(job_id)
+        bus = job.bus
+        # subscribe *before* the terminal check: set_state flips the state
+        # first and closes the bus after, so either we see terminal here
+        # (replay-only) or our subscription is registered in time for
+        # close() to end the stream — no hang window either way
+        sub: Any = bus.subscribe()
+        if job.terminal:
+            sub.close()
+            sub = None
+        try:
+            self.send_response(200)
+            self.send_header("Content-Type", "text/event-stream")
+            self.send_header("Cache-Control", "no-store")
+            self.send_header("Connection", "close")
+            self.end_headers()
+            last_seq = -1
+            for ev in list(bus.events):
+                self._frame(ev)
+                last_seq = int(ev.get("seq", last_seq))
+            if sub is None:
+                self.wfile.write(b"event: end\ndata: {}\n\n")
+                self.wfile.flush()
+                return
+            idle = 0
+            while not self.server.closing.is_set():
+                ev = sub.get(timeout=_SSE_POLL_S)
+                if ev is None:
+                    if sub.closed:
+                        self.wfile.write(b"event: end\ndata: {}\n\n")
+                        self.wfile.flush()
+                        return
+                    idle += 1
+                    if idle >= _SSE_KEEPALIVE_POLLS:
+                        self.wfile.write(b": keepalive\n\n")
+                        self.wfile.flush()
+                        idle = 0
+                    continue
+                idle = 0
+                if int(ev.get("seq", -1)) <= last_seq:
+                    continue  # already replayed from the buffer
+                self._frame(ev)
+        except (BrokenPipeError, ConnectionResetError):
+            pass
+        finally:
+            if sub is not None:
+                sub.close()
+
+    def _frame(self, ev: dict[str, Any]) -> None:
+        data = json.dumps(ev, default=_jsonable)
+        self.wfile.write(
+            f"id: {ev.get('seq', 0)}\nevent: trace\ndata: {data}\n\n".encode()
+        )
+        self.wfile.flush()
+
+
+class JobServer:
+    """The HTTP front of a :class:`ServiceCore`; ``port=0`` picks freely."""
+
+    def __init__(
+        self, core: ServiceCore, host: str = "127.0.0.1", port: int = 0
+    ) -> None:
+        self.core = core
+        self._httpd = _ServiceHTTPServer((host, port), core)
+        self.host = self._httpd.server_address[0]
+        self.port = int(self._httpd.server_address[1])
+        self._thread: threading.Thread | None = None
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "JobServer":
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, name="repro-serve-http", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def close(self) -> None:
+        """Stop the listener (idempotent).  Call :meth:`ServiceCore.drain`
+        first for the SIGTERM semantics — close alone does not persist."""
+        if self._httpd.closing.is_set():
+            return
+        self._httpd.closing.set()
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None

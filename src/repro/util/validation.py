@@ -12,6 +12,18 @@ class ConfigurationError(ValueError):
     by p, non-positive block size)."""
 
 
+class PreemptedError(SimulationError):
+    """A run was preempted at a round boundary after checkpointing.
+
+    Raised by :meth:`repro.cgm.engine.Engine.run` when its ``preempt``
+    callable returns true at a checkpoint boundary — the on-disk snapshot
+    written immediately before is complete, so re-running with
+    ``resume=True`` continues bit-identically.  The job server uses this
+    to evict a running job in favor of a higher-priority tenant without
+    losing its finished rounds.
+    """
+
+
 class ConstraintViolation(ValueError):
     """A paper-mandated parameter constraint does not hold.
 

@@ -283,6 +283,73 @@ class TestCrossArenaResume:
         assert counters(clean.report) == counters(resumed.report)
 
 
+class TestServicePath:
+    """Preempt/resume through the job-service execution path: the same
+    checkpoint invariants hold when the run is described by a ``JobSpec``
+    and driven by ``execute_spec`` instead of ``em_run`` directly."""
+
+    PAR = {
+        "op": "sort", "n": N, "seed": 5,
+        "machine": {"v": V, "p": 4, "D": D, "B": B},
+    }
+
+    def test_fingerprint_ignores_worker_count(self):
+        from repro.service.spec import JobSpec
+
+        w0 = JobSpec.from_dict(self.PAR)
+        w2 = JobSpec.from_dict({**self.PAR, "workers": 2})
+        assert w0.fingerprint() == w2.fingerprint()
+
+    @pytest.mark.slow
+    def test_cross_backend_preempt_resume(self, tmp_path):
+        """Preempted on the multi-process backend, resumed in-process —
+        counters and output hash are bit-identical to a clean run, as the
+        CI service lane asserts end-to-end."""
+        from repro.service.pool import execute_spec
+        from repro.service.spec import JobSpec
+        from repro.util.validation import PreemptedError
+
+        clean = execute_spec(JobSpec.from_dict(self.PAR))
+        ck = str(tmp_path / "ck")
+        workers = JobSpec.from_dict({**self.PAR, "workers": 2})
+        fired = []
+
+        def preempt_once() -> bool:
+            fired.append(True)
+            return len(fired) == 1
+
+        with pytest.raises(PreemptedError, match="resume to continue"):
+            execute_spec(workers, checkpoint=ck, preempt=preempt_once)
+        resumed = execute_spec(
+            JobSpec.from_dict(self.PAR), checkpoint=ck, resume=True
+        )
+        assert resumed["ok"] is True
+        assert resumed["counters"] == clean["counters"]
+        assert resumed["output_sha256"] == clean["output_sha256"]
+        assert resumed["fingerprint"] == clean["fingerprint"]
+
+    @pytest.mark.slow
+    def test_preempt_resume_under_fault_plan(self, tmp_path):
+        from repro.service.pool import execute_spec
+        from repro.service.spec import JobSpec
+        from repro.util.validation import PreemptedError
+
+        doc = {**self.PAR, "faults": {"p_transient_read": 0.02, "seed": 13}}
+        clean = execute_spec(JobSpec.from_dict(doc))
+        assert clean["counters"]["fault_stats"]["retries"] > 0
+        ck = str(tmp_path / "ck")
+        fired = []
+        with pytest.raises(PreemptedError):
+            execute_spec(
+                JobSpec.from_dict(doc),
+                checkpoint=ck,
+                preempt=lambda: not fired and (fired.append(True) or True),
+            )
+        resumed = execute_spec(JobSpec.from_dict(doc), checkpoint=ck, resume=True)
+        assert resumed["counters"] == clean["counters"]
+        assert resumed["output_sha256"] == clean["output_sha256"]
+
+
 class TestRefusals:
     CFG = MachineConfig(N=N, v=V, p=2, D=D, B=B)
 

@@ -1,0 +1,302 @@
+"""HTTP integration: the full submit/cache/stream/preempt/drain surface."""
+
+import json
+import threading
+import time
+import urllib.request
+
+import pytest
+
+from repro.service.client import (
+    get_job,
+    run_spec_local,
+    stream_job,
+    submit_job,
+    wait_job,
+)
+from repro.service.server import JobServer, ServiceCore
+
+MACHINE = {"v": 8, "D": 2, "B": 64}
+SPEC = {"op": "sort", "n": 4096, "seed": 1, "machine": MACHINE, "tenant": "alice"}
+
+WAIT_S = 60.0
+
+
+@pytest.fixture
+def served(tmp_path):
+    core = ServiceCore(state_dir=str(tmp_path / "state"), pool_size=2)
+    server = JobServer(core).start()
+    try:
+        yield server
+    finally:
+        core.drain(timeout=WAIT_S)
+        server.close()
+
+
+def _get(url):
+    with urllib.request.urlopen(url, timeout=10) as resp:
+        return resp.status, json.loads(resp.read().decode())
+
+
+class TestSubmitAndResult:
+    def test_submit_wait_verify(self, served):
+        status, headers, doc = submit_job(served.url, SPEC)
+        assert status == 202
+        assert headers["X-Repro-Cache"] == "miss"
+        assert headers["Location"] == f"/jobs/{doc['id']}"
+        final = wait_job(served.url, doc["id"], timeout_s=WAIT_S)
+        assert final["state"] == "done"
+        assert final["result"]["ok"] is True
+
+    def test_served_result_bit_identical_to_local_run(self, served):
+        status, _, doc = submit_job(served.url, SPEC)
+        assert status == 202
+        final = wait_job(served.url, doc["id"], timeout_s=WAIT_S)
+        local = run_spec_local(SPEC)
+        assert final["result"]["counters"] == local["result"]["counters"]
+        assert final["result"]["output_sha256"] == local["result"]["output_sha256"]
+        assert final["fingerprint"] == local["fingerprint"]
+
+    def test_duplicate_served_from_cache(self, served):
+        _, _, doc = submit_job(served.url, SPEC)
+        first = wait_job(served.url, doc["id"], timeout_s=WAIT_S)
+        status, headers, dup = submit_job(served.url, SPEC)
+        assert status == 200
+        assert headers["X-Repro-Cache"] == "hit"
+        assert dup["state"] == "done"
+        assert dup["cache"] == "hit"
+        assert dup["result"] == first["result"]
+        # a *different* tenant shares the entry (fingerprint excludes tenant)
+        status, headers, other = submit_job(
+            served.url, {**SPEC, "tenant": "bob"}
+        )
+        assert status == 200 and headers["X-Repro-Cache"] == "hit"
+
+    def test_invalid_spec_400_with_error_list(self, served):
+        status, _, body = submit_job(served.url, {"op": "merge", "n": 0})
+        assert status == 400
+        assert "op" in body["error"] and "n" in body["error"]
+
+    def test_non_json_body_400(self, served):
+        req = urllib.request.Request(
+            served.url + "/jobs", data=b"not json", method="POST"
+        )
+        try:
+            urllib.request.urlopen(req, timeout=10)
+            raised = None
+        except urllib.error.HTTPError as exc:
+            raised = exc.code
+        assert raised == 400
+
+    def test_unknown_job_404(self, served):
+        for path in ("/jobs/nope", "/jobs/nope/events"):
+            try:
+                urllib.request.urlopen(served.url + path, timeout=10)
+                raised = None
+            except urllib.error.HTTPError as exc:
+                raised = exc.code
+            assert raised == 404
+
+    def test_listing_and_health(self, served):
+        _, _, doc = submit_job(served.url, SPEC)
+        wait_job(served.url, doc["id"], timeout_s=WAIT_S)
+        status, listing = _get(served.url + "/jobs")
+        assert status == 200
+        assert any(j["id"] == doc["id"] for j in listing["jobs"])
+        assert listing["draining"] is False
+        status, health = _get(served.url + "/healthz")
+        assert health["status"] == "ok"
+
+
+class TestSSE:
+    def test_stream_carries_engine_trace_and_lifecycle(self, served):
+        _, _, doc = submit_job(served.url, SPEC)
+        kinds = [ev.get("kind") for ev in
+                 stream_job(served.url, doc["id"], timeout_s=WAIT_S)]
+        assert "job_state" in kinds
+        assert "run_begin" in kinds and "run_end" in kinds
+        assert "superstep_end" in kinds
+
+    def test_finished_job_stream_replays_then_ends(self, served):
+        _, _, doc = submit_job(served.url, SPEC)
+        wait_job(served.url, doc["id"], timeout_s=WAIT_S)
+        events = list(stream_job(served.url, doc["id"], timeout_s=10))
+        assert any(ev.get("kind") == "run_end" for ev in events)
+
+
+class TestBackpressure:
+    def test_queue_full_429_retry_after(self, tmp_path):
+        # pool never started: jobs stay queued and the bound is exact
+        core = ServiceCore(
+            state_dir=str(tmp_path / "s"), pool_size=1,
+            queue_capacity=2, start=False,
+        )
+        server = JobServer(core).start()
+        try:
+            for i in range(2):
+                status, _, _ = submit_job(server.url, {**SPEC, "seed": i})
+                assert status == 202
+            status, headers, body = submit_job(server.url, {**SPEC, "seed": 99})
+            assert status == 429
+            assert int(headers["Retry-After"]) >= 1
+            assert "queue full" in body["error"]
+        finally:
+            server.close()
+
+    def test_tenant_quota_429_other_tenant_admitted(self, tmp_path):
+        core = ServiceCore(
+            state_dir=str(tmp_path / "s"), pool_size=1,
+            tenant_quota=1, start=False,
+        )
+        server = JobServer(core).start()
+        try:
+            assert submit_job(server.url, SPEC)[0] == 202
+            status, headers, body = submit_job(server.url, {**SPEC, "seed": 2})
+            assert status == 429 and "quota" in body["error"]
+            assert "Retry-After" in headers
+            assert submit_job(server.url, {**SPEC, "tenant": "bob"})[0] == 202
+        finally:
+            server.close()
+
+
+class TestCancel:
+    def test_cancel_queued_job(self, tmp_path):
+        core = ServiceCore(state_dir=str(tmp_path / "s"), start=False)
+        server = JobServer(core).start()
+        try:
+            _, _, doc = submit_job(server.url, SPEC)
+            cancelled = json.loads(
+                urllib.request.urlopen(
+                    urllib.request.Request(
+                        f"{server.url}/jobs/{doc['id']}/cancel", method="POST"
+                    ),
+                    timeout=10,
+                ).read()
+            )
+            assert cancelled["state"] == "cancelled"
+            # idempotent
+            assert get_job(server.url, doc["id"])["state"] == "cancelled"
+        finally:
+            server.close()
+
+
+class TestPreemptionThroughService:
+    def test_high_priority_tenant_preempts_and_victim_resumes(self, tmp_path):
+        """The tentpole acceptance path, deterministically sequenced:
+        a single worker runs the low-priority job; a synchronous bus
+        listener submits the high-priority job from the engine thread at
+        the first superstep_end, so the preempt flag is guaranteed to be
+        observed at the next checkpointed round boundary."""
+        core = ServiceCore(
+            state_dir=str(tmp_path / "s"), pool_size=1, start=False
+        )
+        low = {"op": "sort", "n": 1 << 13, "machine": MACHINE,
+               "tenant": "slow", "priority": 0}
+        high = {"op": "permute", "n": 4096, "machine": MACHINE,
+                "tenant": "vip", "priority": 5}
+        victim, cached = core.submit(low)
+        assert not cached
+        submitted = []
+
+        def on_event(ev):
+            if ev.get("kind") == "superstep_end" and not submitted:
+                submitted.append(core.submit(high)[0])
+
+        victim.bus.add_listener(on_event)
+        core.start()
+        try:
+            deadline = time.monotonic() + WAIT_S
+            while time.monotonic() < deadline and not (
+                victim.terminal and submitted and submitted[0].terminal
+            ):
+                time.sleep(0.02)
+            vip = submitted[0]
+            assert victim.state == "done" and vip.state == "done"
+            assert victim.preemptions >= 1
+            assert victim.attempts == victim.preemptions + 1
+            # the preempting tenant finished before the victim
+            assert vip.finished_s < victim.finished_s
+            # the victim's resumed result is bit-identical to a clean run
+            clean = run_spec_local(low)
+            assert victim.result["counters"] == clean["result"]["counters"]
+            assert (
+                victim.result["output_sha256"]
+                == clean["result"]["output_sha256"]
+            )
+            assert victim.result["ok"] is True
+        finally:
+            core.drain(timeout=WAIT_S)
+
+    def test_equal_priority_does_not_preempt(self, tmp_path):
+        core = ServiceCore(
+            state_dir=str(tmp_path / "s"), pool_size=1, start=False
+        )
+        first, _ = core.submit({**SPEC, "priority": 3})
+        second, _ = core.submit({**SPEC, "seed": 2, "priority": 3})
+        core.start()
+        try:
+            assert first.finished.wait(WAIT_S)
+            assert second.finished.wait(WAIT_S)
+            assert first.preemptions == 0 and second.preemptions == 0
+        finally:
+            core.drain(timeout=WAIT_S)
+
+
+class TestDrain:
+    def test_drain_persists_inflight_and_restart_resumes(self, tmp_path):
+        state = str(tmp_path / "state")
+        core = ServiceCore(state_dir=state, pool_size=1, start=False)
+        spec = {"op": "sort", "n": 1 << 13, "machine": MACHINE}
+        job, _ = core.submit(spec)
+        started = threading.Event()
+        job.bus.add_listener(
+            lambda ev: started.set() if ev.get("kind") == "superstep_end" else None
+        )
+        core.start()
+        assert started.wait(WAIT_S)
+        saved = core.drain(timeout=WAIT_S)
+        assert saved == 1
+        assert job.state == "preempted"
+        assert job.attempts == 1
+
+        restarted = ServiceCore(state_dir=state, pool_size=1)
+        try:
+            resumed = restarted.get(job.id)
+            assert resumed.finished.wait(WAIT_S)
+            assert resumed.state == "done"
+            clean = run_spec_local(spec)
+            assert resumed.result["counters"] == clean["result"]["counters"]
+            assert (
+                resumed.result["output_sha256"]
+                == clean["result"]["output_sha256"]
+            )
+        finally:
+            restarted.drain(timeout=WAIT_S)
+
+    def test_draining_refuses_submissions_503(self, tmp_path):
+        core = ServiceCore(state_dir=str(tmp_path / "s"), pool_size=1)
+        server = JobServer(core).start()
+        try:
+            core.drain(timeout=WAIT_S)
+            status, headers, body = submit_job(server.url, SPEC)
+            assert status == 503
+            assert "Retry-After" in headers
+            assert "draining" in body["error"]
+        finally:
+            server.close()
+
+
+class TestMetrics:
+    def test_per_tenant_labels_on_engine_and_service_series(self, served):
+        _, _, doc = submit_job(served.url, SPEC)
+        wait_job(served.url, doc["id"], timeout_s=WAIT_S)
+        submit_job(served.url, SPEC)  # cache hit
+        with urllib.request.urlopen(served.url + "/metrics", timeout=10) as resp:
+            text = resp.read().decode()
+        # two terminal "done" outcomes: the computed job and the cache hit
+        assert 'repro_service_jobs_total{state="done",tenant="alice"} 2' in text
+        assert 'repro_service_cache_hits_total{tenant="alice"} 1' in text
+        assert "repro_service_queue_depth 0" in text
+        # the engine's own counters carry the tenant + job scope
+        assert f'job="{doc["id"]}"' in text
+        assert 'tenant="alice"' in text

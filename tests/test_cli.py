@@ -443,3 +443,108 @@ class TestKnobErrors:
         monkeypatch.setenv("REPRO_FASTPATH", "auto:16")
         assert main(self.BASE) == 0
         assert "sorted 2048 items: OK" in capsys.readouterr().out
+
+
+class TestServeBindErrors:
+    """Regression: a busy port must yield one named error line and exit 2,
+    not a traceback (both the metrics server and the job server)."""
+
+    @pytest.fixture
+    def busy_port(self):
+        import socket
+
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        sock.bind(("127.0.0.1", 0))
+        sock.listen(1)
+        try:
+            yield sock.getsockname()[1]
+        finally:
+            sock.close()
+
+    def _assert_one_line_port_error(self, capsys, port):
+        err = capsys.readouterr().err
+        assert f"port {port} on 127.0.0.1 is already in use" in err
+        assert "Traceback" not in err
+        assert err.count("\n") == 1
+
+    def test_serve_metrics_port_in_use(self, busy_port, capsys):
+        rc = main(["serve-metrics", "--n", "1024", "--v", "4", "--b", "64",
+                   "--port", str(busy_port)])
+        assert rc == 2
+        self._assert_one_line_port_error(capsys, busy_port)
+
+    def test_serve_port_in_use(self, busy_port, capsys, tmp_path):
+        rc = main(["serve", "--port", str(busy_port),
+                   "--state-dir", str(tmp_path / "state")])
+        assert rc == 2
+        self._assert_one_line_port_error(capsys, busy_port)
+
+
+class TestSubmitCommand:
+    SPEC = {"op": "sort", "n": 4096, "seed": 1,
+            "machine": {"v": 8, "D": 2, "B": 64}}
+
+    @pytest.fixture
+    def spec_file(self, tmp_path):
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(self.SPEC))
+        return str(path)
+
+    @pytest.fixture
+    def served(self, tmp_path):
+        from repro.service.server import JobServer, ServiceCore
+
+        core = ServiceCore(state_dir=str(tmp_path / "state"), pool_size=1)
+        server = JobServer(core).start()
+        try:
+            yield server
+        finally:
+            core.drain(timeout=60)
+            server.close()
+
+    def test_local_run_verifies(self, spec_file, capsys):
+        assert main(["submit", spec_file, "--local", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["result"]["ok"] is True
+        assert doc["cache"] == "local"
+
+    def test_submit_wait_then_cached_duplicate(self, served, spec_file, capsys):
+        assert main(["submit", spec_file, "--url", served.url,
+                     "--wait", "--json"]) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert first["state"] == "done" and first["cache"] == "miss"
+        assert main(["submit", spec_file, "--url", served.url,
+                     "--wait", "--json"]) == 0
+        dup = json.loads(capsys.readouterr().out)
+        assert dup["cache"] == "hit"
+        assert dup["result"] == first["result"]
+
+    def test_submit_stream_emits_run_end(self, served, spec_file, capsys):
+        assert main(["submit", spec_file, "--url", served.url,
+                     "--stream", "--json"]) == 0
+        kinds = [json.loads(line).get("kind")
+                 for line in capsys.readouterr().out.splitlines()
+                 if line.startswith("{")]
+        assert "run_end" in kinds
+
+    def test_missing_spec_file_exits_2(self, capsys):
+        assert main(["submit", "/nonexistent/spec.json"]) == 2
+        assert "cannot read spec" in capsys.readouterr().err
+
+    def test_non_json_spec_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text("not json")
+        assert main(["submit", str(path)]) == 2
+        assert "spec is not JSON" in capsys.readouterr().err
+
+    def test_unreachable_server_exits_3(self, spec_file, capsys):
+        assert main(["submit", spec_file,
+                     "--url", "http://127.0.0.1:9", "--timeout", "2"]) == 3
+        assert "error:" in capsys.readouterr().err
+
+    def test_rejected_spec_exits_2_with_server_error(self, served, tmp_path, capsys):
+        path = tmp_path / "bad_spec.json"
+        path.write_text(json.dumps({"op": "merge", "n": 0}))
+        assert main(["submit", str(path), "--url", served.url]) == 2
+        err = capsys.readouterr().err
+        assert "server refused the job (400)" in err
