@@ -134,6 +134,22 @@ def _add_machine_args(p: argparse.ArgumentParser, n_default: int = 1 << 16) -> N
         "(mmap); equivalent to setting REPRO_ARENA",
     )
     p.add_argument(
+        "--transport",
+        choices=["memory", "shm", "tcp"],
+        default=None,
+        help="worker-exchange transport for the multi-process backend: "
+        "queue pickling (memory), queue + shared-memory bulk segments "
+        "(shm, the default), or framed TCP to 'repro node' daemons "
+        "(tcp); equivalent to setting REPRO_TRANSPORT",
+    )
+    p.add_argument(
+        "--nodes",
+        metavar="HOST:PORT,...",
+        default=None,
+        help="node daemons the tcp transport dials, one per worker; "
+        "equivalent to setting REPRO_NODES",
+    )
+    p.add_argument(
         "--profile",
         metavar="PROFILE.json",
         default=None,
@@ -557,6 +573,15 @@ def _bind_error(host: str, port: int, exc: OSError) -> int:
     else:
         print(f"error: cannot bind {host}:{port}: {exc}", file=sys.stderr)
     return 2
+
+
+def cmd_node(args) -> int:
+    from repro.core.transport.node import serve_node
+
+    try:
+        return serve_node(args.host, args.port)
+    except OSError as exc:
+        return _bind_error(args.host, args.port, exc)
 
 
 def cmd_serve_metrics(args) -> int:
@@ -1020,6 +1045,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=cmd_serve_metrics)
 
     p = sub.add_parser(
+        "node",
+        help="host one worker of a distributed run: accepts a coordinator "
+        "over TCP (see --transport tcp / REPRO_NODES), validates its "
+        "handshake (protocol, release, RuntimeConfig fingerprint), and "
+        "runs the worker command loop; SIGTERM exits 0 cleanly",
+    )
+    p.add_argument("--host", default="127.0.0.1", help="bind address")
+    p.add_argument(
+        "--port", type=int, default=9876,
+        help="bind port (0 = auto-pick; the chosen port is printed)",
+    )
+    p.set_defaults(fn=cmd_node)
+
+    p = sub.add_parser(
         "serve",
         help="run the multi-tenant simulation job server: POST /jobs specs, "
         "bounded per-tenant queue with backpressure, checkpoint-preemptible "
@@ -1220,6 +1259,14 @@ def main(argv: list[str] | None = None) -> int:
             # written to the environment so the workers backend's processes
             # inherit the same storage selection
             fastpath.set_arena_kind(args.arena)
+        if getattr(args, "transport", None) is not None:
+            from repro.tune.knobs import set_env
+
+            set_env("REPRO_TRANSPORT", args.transport)
+        if getattr(args, "nodes", None) is not None:
+            from repro.tune.knobs import set_env
+
+            set_env("REPRO_NODES", args.nodes)
         _apply_profile(args)
         return fn(args)
     except KnobError as exc:

@@ -43,6 +43,16 @@ regions to different tracks, but no counter observes track numbers.
 The ``fork`` start method is preferred (workers inherit the interpreter
 state, so serialization is byte-identical and programs need not be
 picklable); ``spawn`` is the fallback elsewhere.
+
+Transports: how the exchange packets physically move is delegated to
+:mod:`repro.core.transport` — ``REPRO_TRANSPORT`` selects per-worker
+queues (``memory``), queues plus shared-memory bulk segments (``shm``,
+the default), or framed TCP to ``repro node`` daemons (``tcp``,
+spanning machines).  The coordinator drives whichever
+fleet (:class:`LocalFleet` of forked processes or
+:class:`~repro.core.transport.tcp.TcpFleet` of remote nodes) through one
+command protocol, so checkpoints, fault recovery, and every logical
+counter are transport-blind.
 """
 
 from __future__ import annotations
@@ -50,7 +60,6 @@ from __future__ import annotations
 import multiprocessing as mp
 import queue
 import traceback
-from multiprocessing import resource_tracker, shared_memory
 from typing import Any
 
 from repro.cgm.config import MachineConfig
@@ -59,16 +68,21 @@ from repro.cgm.message import Message
 from repro.cgm.metrics import CostReport
 from repro.cgm.program import CGMProgram
 from repro.core.par_engine import ParEMEngine, emit_block_metrics
+from repro.core.transport import (
+    MemoryTransport,
+    ShmTransport,
+    TcpFleet,
+    Transport,
+    TransportAbort,
+    poll_get,
+    require_nodes,
+)
 from repro.faults.injector import FaultStats, collect_fault_stats, emit_fault_metrics
 from repro.obs.trace import JsonlRecorder, replay_events
 from repro.pdm import fastpath
-from repro.pdm.fastpath import BlockRun
 from repro.pdm.io_stats import IOStats
 from repro.util.rng import spawn_rngs
 from repro.util.validation import SimulationError
-
-#: distinguishes "no threshold passed" from an explicit ``None`` (shm off)
-_UNSET = object()
 
 #: seconds a blocked queue read waits between abort-flag polls.
 _POLL_S = 0.25
@@ -94,10 +108,6 @@ def _mp_context():
         return mp.get_context("spawn")
 
 
-class _Abort(SimulationError):
-    """Raised inside a worker when the coordinator signalled shutdown."""
-
-
 class WorkerCrashed(SimulationError):
     """A worker *process* died without reporting a result.
 
@@ -111,165 +121,6 @@ class WorkerCrashed(SimulationError):
             f"worker(s) {workers} died without reporting a result for {kind!r}"
         )
         self.workers = workers
-
-
-def _poll_get(q, abort, what: str):
-    """Blocking queue read that honours the shared abort flag."""
-    while True:
-        if abort.is_set():
-            raise _Abort(f"aborted while waiting for {what}")
-        try:
-            return q.get(timeout=_POLL_S)
-        except queue.Empty:
-            continue
-
-
-#: payload placeholder in a shared-memory packet: the receiver rebuilds a
-#: BlockRun view over the mapped segment from these coordinates.
-_SHM_REF = "__shmrun__"
-
-
-def _untrack_shm(shm) -> None:
-    """Detach a *sender's* segment from the resource tracker.
-
-    Ownership is explicit in the exchange protocol: the receiver unlinks
-    after staging, and ``SharedMemory.unlink`` itself unregisters, which
-    balances the registration made when the receiver attached.  Only the
-    sender's create-side registration is left dangling — untracking it
-    here keeps the tracker from warning (or double-unlinking) at exit.
-    The receiver must NOT untrack, or ``unlink`` would unregister a name
-    the tracker no longer holds and spray KeyError tracebacks on stderr.
-    """
-    try:
-        resource_tracker.unregister(getattr(shm, "_name", shm.name), "shared_memory")
-    except Exception:  # pragma: no cover - tracker internals vary
-        pass
-
-
-class _Network:
-    """One worker's view of the simulated network (peer-to-peer queues).
-
-    Packets are tagged ``(round, phase, src_worker)``; a packet from a
-    peer that has already raced ahead into a later phase is buffered, so
-    the exchange of one phase can never consume another phase's traffic.
-
-    Bulk transport: when the fast path is on and a packet's ``BlockRun``
-    payloads total at least :func:`repro.pdm.fastpath.shm_threshold`
-    bytes, the payload bytes travel through one
-    ``multiprocessing.shared_memory`` segment per packet and the queue
-    carries only the metadata — the receiver's scatter copies straight
-    from the mapping into its track arena, so bulk bytes cross the
-    process boundary exactly once and are never pickled.  Smaller packets
-    (and all control traffic) stay on the queue, which also remains the
-    fallback when the reference path is selected.  A packet buffered for
-    a later phase keeps its wire form; its segment is only mapped when
-    that phase consumes it.  :meth:`release` closes and unlinks consumed
-    segments after staging.
-    """
-
-    def __init__(
-        self, worker_id: int, inboxes, abort, shm_threshold=_UNSET
-    ) -> None:
-        self.worker_id = worker_id
-        self.inboxes = inboxes
-        self.abort = abort
-        self._buffer: dict[tuple[int, int], dict[int, tuple]] = {}
-        # the coordinator's per-run snapshot fixes the threshold for every
-        # worker; the module-level fallback serves direct construction
-        self.shm_threshold = (
-            fastpath.shm_threshold() if shm_threshold is _UNSET else shm_threshold
-        )
-        self._consumed: list = []
-
-    def _encode(self, items: list) -> tuple:
-        """Wire form of one packet: ``("inl", items)`` or
-        ``("shm", segment_name, items_with_refs)``."""
-        threshold = self.shm_threshold
-        if threshold is None:
-            return ("inl", items)
-        total = sum(
-            bundle[2].nbytes
-            for _src, bundle in items
-            if isinstance(bundle[2], BlockRun)
-        )
-        if total < threshold:
-            return ("inl", items)
-        shm = shared_memory.SharedMemory(create=True, size=total)
-        try:
-            view = shm.buf
-            off = 0
-            wire_items = []
-            for src_pid, (dest, parts, payload) in items:
-                if isinstance(payload, BlockRun):
-                    n = payload.nbytes
-                    view[off : off + n] = memoryview(payload.buf).cast("B")
-                    payload = (
-                        _SHM_REF, off, n, payload.nblocks, payload.block_bytes
-                    )
-                    off += n
-                wire_items.append((src_pid, (dest, parts, payload)))
-            return ("shm", shm.name, wire_items)
-        finally:
-            # the receiver owns the segment's lifetime from here on
-            _untrack_shm(shm)
-            shm.close()
-
-    def _decode(self, wire: tuple) -> list:
-        kind = wire[0]
-        if kind == "inl":
-            return wire[1]
-        _, name, wire_items = wire
-        shm = shared_memory.SharedMemory(name=name)
-        self._consumed.append(shm)
-        view = memoryview(shm.buf)
-        items = []
-        for src_pid, (dest, parts, payload) in wire_items:
-            if isinstance(payload, tuple) and payload and payload[0] == _SHM_REF:
-                _tag, off, n, nblocks, block_bytes = payload
-                payload = BlockRun(view[off : off + n], nblocks, block_bytes)
-            items.append((src_pid, (dest, parts, payload)))
-        return items
-
-    def release(self) -> None:
-        """Unlink segments whose payloads have been staged on disk.
-
-        Callers must have dropped every ``BlockRun`` view first (staging
-        copies the bytes into the arena); a still-exported mapping is
-        retried on the next call rather than erroring the round.
-        """
-        keep = []
-        for shm in self._consumed:
-            try:
-                shm.unlink()
-            except FileNotFoundError:  # pragma: no cover - double unlink
-                pass
-            try:
-                shm.close()
-            except BufferError:  # pragma: no cover - view still alive
-                keep.append(shm)
-        self._consumed = keep
-
-    def exchange(self, outgoing: dict[int, list], r: int, phase: int) -> list:
-        """Send one packet to every peer, receive one from each; returns
-        the concatenated remote items."""
-        for w in sorted(outgoing):
-            self.inboxes[w].put((r, phase, self.worker_id, self._encode(outgoing[w])))
-        expected = set(outgoing)
-        got = self._buffer.pop((r, phase), {})
-        while expected - set(got):
-            rr, pp, src, wire = _poll_get(
-                self.inboxes[self.worker_id],
-                self.abort,
-                f"round {r} phase {phase} packets",
-            )
-            if (rr, pp) == (r, phase):
-                got[src] = wire
-            else:
-                self._buffer.setdefault((rr, pp), {})[src] = wire
-        merged: list = []
-        for src in sorted(got):
-            merged.extend(self._decode(got[src]))
-        return merged
 
 
 class _WorkerEngine(ParEMEngine):
@@ -333,7 +184,7 @@ class _WorkerEngine(ParEMEngine):
         for src_pid in sorted(by_src):
             self._write_staged(self._stage_bundles(src_pid, by_src[src_pid]))
 
-    def _exchange_phase(self, net: _Network, r: int, phase: int) -> None:
+    def _exchange_phase(self, net: Transport, r: int, phase: int) -> None:
         outgoing = self._outgoing
         self._outgoing = None
         self._apply_remote(net.exchange(outgoing, r, phase))
@@ -349,7 +200,7 @@ class _WorkerEngine(ParEMEngine):
     # ------------------------------------------------------------ per round
 
     def execute_local_round(
-        self, program: CGMProgram, r: int, rngs: list, net: _Network
+        self, program: CGMProgram, r: int, rngs: list, net: Transport
     ) -> RoundStep:
         """This worker's share of one CGM round, including both network
         exchanges; mirrors :meth:`Engine._execute_round`."""
@@ -375,115 +226,250 @@ class _WorkerEngine(ParEMEngine):
         return step
 
 
+def run_worker_session(
+    worker_id: int,
+    session: dict[str, Any],
+    cmd_get,
+    reply,
+    net: Transport,
+) -> None:
+    """One worker's command loop, transport-agnostic.
+
+    Commands: ``("setup", {pid: input})``, ``("round", r)``, ``("finish",)``,
+    ``("snapshot",)``, ``("restore", backend, rng_states)``, ``("stop",)``.
+    *cmd_get* blocks for the next coordinator command, *reply(kind,
+    payload)* ships a result back, and *net* is this worker's
+    :class:`~repro.core.transport.base.Transport`.  The same loop runs in
+    a forked process (:class:`LocalFleet`) and in a ``repro node``
+    daemon's session thread — the commands and replies are identical, so
+    the coordinator cannot tell the transports apart.
+
+    ``session["runtime"]`` is the coordinator's per-run
+    :class:`~repro.tune.runtime.RuntimeConfig` snapshot — workers never
+    consult their own environment, so every process of one run agrees on
+    the knob values even if environments differ across machines.
+
+    Exceptions propagate to the caller, which owns error reporting.
+    """
+    cfg: MachineConfig = session["cfg"]
+    program: CGMProgram = session["program"]
+    runtime = session["runtime"]
+    tracer = JsonlRecorder() if session["trace_enabled"] else None
+    eng = _WorkerEngine(
+        cfg, session["balanced"], worker_id, session["plan"], tracer=tracer
+    )
+    eng._max_message_items = session["max_message_items"]
+    eng.faults = session["faults"]
+    eng.runtime = runtime
+    eng._rt = runtime
+    eng._start(program)
+    rngs = spawn_rngs(cfg.seed, cfg.v)
+    while True:
+        cmd = cmd_get()
+        op = cmd[0]
+        if op == "setup":
+            eng._setup_contexts(program, cmd[1])
+            reply("setup", None)
+        elif op == "round":
+            r = cmd[1]
+            step = eng.execute_local_round(program, r, rngs, net)
+            payload = {
+                "sent": [(pid, n) for pid, n in enumerate(step.sent) if n],
+                "recv": [(pid, n) for pid, n in enumerate(step.recv) if n],
+                "wall": [
+                    (real, s)
+                    for real, s in enumerate(step.per_real_wall)
+                    if s
+                ],
+                "messages": step.messages,
+                "comm_items": step.comm_items,
+                "cross_items": step.cross_items,
+                "all_done": step.all_done,
+                "io": step.io,
+                "pending": eng._pending_messages(),
+                "events": tracer.drain() if tracer else [],
+            }
+            reply("round", payload)
+        elif op == "finish":
+            outputs = {
+                pid: program.finish(eng._load_context(pid))
+                for pid in eng._local_pids()
+            }
+            for pid in list(eng._charged):
+                eng._release(pid)
+            payload = {
+                "outputs": outputs,
+                "io_by_real": {rl: eng.arrays[rl].stats for rl in eng._reals},
+                "mem_peaks": {rl: eng.memories[rl].peak for rl in eng._reals},
+                "ctx_io": eng._ctx_blocks_io,
+                "msg_io": eng._msg_blocks_io,
+                "ovf": eng._overflow_blocks,
+                "fault_stats": collect_fault_stats(eng.arrays.values()),
+                "transport": {
+                    "kind": net.kind,
+                    "sent": net.packets_sent,
+                    "recv": net.packets_received,
+                },
+                "events": tracer.drain() if tracer else [],
+            }
+            reply("final", payload)
+        elif op == "snapshot":
+            payload = {
+                "backend": eng._snapshot_backend(),
+                "rng": {
+                    pid: rngs[pid].bit_generator.state
+                    for pid in eng._local_pids()
+                },
+            }
+            reply("snapshot", payload)
+        elif op == "restore":
+            eng._restore_backend(cmd[1])
+            for pid, state in cmd[2].items():
+                rngs[pid].bit_generator.state = state
+            reply("restore", None)
+        elif op == "stop":
+            net.close()
+            return
+        else:  # pragma: no cover - protocol bug
+            raise SimulationError(f"unknown worker command {op!r}")
+
+
 def _worker_main(
     worker_id: int,
-    cfg: MachineConfig,
-    balanced: bool,
-    trace_enabled: bool,
-    plan: list[list[int]],
-    program: CGMProgram,
-    max_message_items: int,
-    faults,
-    runtime,
+    session: dict[str, Any],
+    transport_kind: str,
     cmd_q,
     result_q,
     net_qs,
     abort,
 ) -> None:
-    """Worker process entry point: a command loop driven by the coordinator.
-
-    Commands: ``("setup", {pid: input})``, ``("round", r)``, ``("finish",)``,
-    ``("snapshot",)``, ``("restore", backend, rng_states)``, ``("stop",)``.
-    Any exception is reported on the result queue as an
-    ``("error", traceback)`` message.  *runtime* is the coordinator's
-    per-run :class:`~repro.tune.runtime.RuntimeConfig` snapshot — workers
-    never consult their own environment, so every process of one run
-    agrees on the knob values even if the environment changes mid-run.
-    """
+    """Forked-process entry point: build the local transport, run the
+    session loop, report any failure as an ``("error", traceback)``."""
     try:
-        tracer = JsonlRecorder() if trace_enabled else None
-        eng = _WorkerEngine(cfg, balanced, worker_id, plan, tracer=tracer)
-        eng._max_message_items = max_message_items
-        eng.faults = faults
-        eng.runtime = runtime
-        eng._rt = runtime
-        eng._start(program)
-        net = _Network(
+        if transport_kind == "memory":
+            net: Transport = MemoryTransport(worker_id, net_qs, abort)
+        else:
+            runtime = session["runtime"]
+            threshold = (
+                runtime.shm_threshold
+                if runtime is not None
+                else fastpath.shm_threshold()
+            )
+            net = ShmTransport(worker_id, net_qs, abort, threshold)
+        run_worker_session(
             worker_id,
-            net_qs,
-            abort,
-            shm_threshold=runtime.shm_threshold if runtime is not None else _UNSET,
+            session,
+            cmd_get=lambda: poll_get(cmd_q, abort, "a coordinator command"),
+            reply=lambda kind, payload: result_q.put((worker_id, kind, payload)),
+            net=net,
         )
-        rngs = spawn_rngs(cfg.seed, cfg.v)
-        while True:
-            cmd = _poll_get(cmd_q, abort, "a coordinator command")
-            op = cmd[0]
-            if op == "setup":
-                eng._setup_contexts(program, cmd[1])
-                result_q.put((worker_id, "setup", None))
-            elif op == "round":
-                r = cmd[1]
-                step = eng.execute_local_round(program, r, rngs, net)
-                payload = {
-                    "sent": [(pid, n) for pid, n in enumerate(step.sent) if n],
-                    "recv": [(pid, n) for pid, n in enumerate(step.recv) if n],
-                    "wall": [
-                        (real, s)
-                        for real, s in enumerate(step.per_real_wall)
-                        if s
-                    ],
-                    "messages": step.messages,
-                    "comm_items": step.comm_items,
-                    "cross_items": step.cross_items,
-                    "all_done": step.all_done,
-                    "io": step.io,
-                    "pending": eng._pending_messages(),
-                    "events": tracer.drain() if tracer else [],
-                }
-                result_q.put((worker_id, "round", payload))
-            elif op == "finish":
-                outputs = {
-                    pid: program.finish(eng._load_context(pid))
-                    for pid in eng._local_pids()
-                }
-                for pid in list(eng._charged):
-                    eng._release(pid)
-                payload = {
-                    "outputs": outputs,
-                    "io_by_real": {rl: eng.arrays[rl].stats for rl in eng._reals},
-                    "mem_peaks": {rl: eng.memories[rl].peak for rl in eng._reals},
-                    "ctx_io": eng._ctx_blocks_io,
-                    "msg_io": eng._msg_blocks_io,
-                    "ovf": eng._overflow_blocks,
-                    "fault_stats": collect_fault_stats(eng.arrays.values()),
-                    "events": tracer.drain() if tracer else [],
-                }
-                result_q.put((worker_id, "final", payload))
-            elif op == "snapshot":
-                payload = {
-                    "backend": eng._snapshot_backend(),
-                    "rng": {
-                        pid: rngs[pid].bit_generator.state
-                        for pid in eng._local_pids()
-                    },
-                }
-                result_q.put((worker_id, "snapshot", payload))
-            elif op == "restore":
-                eng._restore_backend(cmd[1])
-                for pid, state in cmd[2].items():
-                    rngs[pid].bit_generator.state = state
-                result_q.put((worker_id, "restore", None))
-            elif op == "stop":
-                return
-            else:  # pragma: no cover - protocol bug
-                raise SimulationError(f"unknown worker command {op!r}")
-    except _Abort:
+    except TransportAbort:
         pass
     except BaseException:
         try:
             result_q.put((worker_id, "error", traceback.format_exc()))
         except Exception:  # pragma: no cover - queue already torn down
             pass
+
+
+class LocalFleet:
+    """Forked worker processes wired with multiprocessing queues.
+
+    The single-machine fleet: one daemonic process per worker, a shared
+    result queue, one command queue per worker, and the per-worker inbox
+    queues the memory/shm transports exchange packets on.  Mirrors
+    :class:`~repro.core.transport.tcp.TcpFleet`'s surface so the
+    coordinator never branches on locality.
+    """
+
+    def __init__(self, n_workers: int, transport_kind: str) -> None:
+        self.n_workers = n_workers
+        self.kind = transport_kind
+        self._procs: list = []
+
+    def start(self, session: dict[str, Any]) -> None:
+        ctx = _mp_context()
+        self._abort = ctx.Event()
+        self._result_q = ctx.Queue()
+        self._cmd_qs = [ctx.Queue() for _ in range(self.n_workers)]
+        net_qs = [ctx.Queue() for _ in range(self.n_workers)]
+        self._procs = []
+        for w in range(self.n_workers):
+            proc = ctx.Process(
+                target=_worker_main,
+                args=(
+                    w,
+                    session,
+                    self.kind,
+                    self._cmd_qs[w],
+                    self._result_q,
+                    net_qs,
+                    self._abort,
+                ),
+                daemon=True,
+            )
+            proc.start()
+            self._procs.append(proc)
+
+    def send(self, w: int, cmd: tuple) -> None:
+        try:
+            self._cmd_qs[w].put(cmd)
+        except Exception:  # pragma: no cover - queue torn down
+            pass
+
+    def broadcast(self, cmd: tuple) -> None:
+        for w in range(self.n_workers):
+            self.send(w, cmd)
+
+    def result(self, timeout: float):
+        """One ``(worker, kind, payload)`` reply; raises ``queue.Empty``."""
+        return self._result_q.get(timeout=timeout)
+
+    def alive(self, w: int) -> bool:
+        return bool(self._procs) and self._procs[w].is_alive()
+
+    def request_abort(self) -> None:
+        self._abort.set()
+
+    def stop(self, force: bool = False) -> None:
+        if not self._procs:
+            return
+        if force:
+            # crash recovery: peers may be blocked mid-exchange waiting on
+            # a dead worker's packet, so abort first instead of asking
+            # politely and eating the join timeout
+            self._abort.set()
+        else:
+            self.broadcast(("stop",))
+        for proc in self._procs:
+            proc.join(timeout=5.0)
+        for proc in self._procs:
+            if proc.is_alive():  # pragma: no cover - stuck worker
+                self._abort.set()
+                proc.join(timeout=2.0)
+                if proc.is_alive():
+                    proc.terminate()
+        self._procs = []
+
+    # ------------------------------------------------------------ telemetry
+
+    def node_label(self, w: int) -> str:
+        return f"local/{w}"
+
+    def event_tags(self, w: int) -> dict[str, Any]:
+        return {}
+
+    def stats(self) -> dict[str, dict[str, int]]:
+        return {}
+
+
+def make_fleet(runtime, n_workers: int):
+    """Fleet for the run's ``REPRO_TRANSPORT``: local processes, or TCP
+    connections to the ``REPRO_NODES`` daemons."""
+    kind = getattr(runtime, "transport", None) or "shm"
+    if kind == "tcp":
+        return TcpFleet(require_nodes(runtime.nodes), n_workers)
+    return LocalFleet(n_workers, kind)
 
 
 class ProcessParEngine(Engine):
@@ -513,7 +499,7 @@ class ProcessParEngine(Engine):
             cfg, balanced=balanced, validate=validate, tracer=tracer, metrics=metrics
         )
         self.n_workers = max(1, min(cfg.workers or cfg.p, cfg.p))
-        self._procs: list = []
+        self._fleet = None
         self._pending = False
         self._restarts = 0
 
@@ -526,34 +512,27 @@ class ProcessParEngine(Engine):
             from repro.tune.runtime import current
 
             self._rt = current()
-        ctx = _mp_context()
-        self._abort = ctx.Event()
-        self._result_q = ctx.Queue()
-        self._cmd_qs = [ctx.Queue() for _ in range(self.n_workers)]
-        self._net_qs = [ctx.Queue() for _ in range(self.n_workers)]
-        self._procs = []
-        for w in range(self.n_workers):
-            proc = ctx.Process(
-                target=_worker_main,
-                args=(
-                    w,
-                    cfg,
-                    self.balanced,
-                    self.tracer.enabled,
-                    self._plan,
-                    program,
-                    self._max_message_items,
-                    self.faults,
-                    self._rt,
-                    self._cmd_qs[w],
-                    self._result_q,
-                    self._net_qs,
-                    self._abort,
-                ),
-                daemon=True,
+        session = {
+            "cfg": cfg,
+            "balanced": self.balanced,
+            "trace_enabled": self.tracer.enabled,
+            "plan": self._plan,
+            "program": program,
+            "max_message_items": self._max_message_items,
+            "faults": self.faults,
+            "runtime": self._rt,
+        }
+        if self._fleet is None:
+            # the fleet survives crash recovery (_shutdown + _start), so
+            # relay statistics accumulate across restarts of one run
+            self._fleet = make_fleet(self._rt, self.n_workers)
+        self._fleet.start(session)
+        if self.tracer.enabled and self._fleet.kind == "tcp":
+            self.tracer.emit(
+                "transport_connect",
+                transport=self._fleet.kind,
+                nodes=[self._fleet.node_label(w) for w in range(self.n_workers)],
             )
-            proc.start()
-            self._procs.append(proc)
 
     def run(self, program: CGMProgram, inputs: list[Any]):
         try:
@@ -562,34 +541,13 @@ class ProcessParEngine(Engine):
             self._shutdown()
 
     def _shutdown(self, force: bool = False) -> None:
-        if not self._procs:
-            return
-        if force:
-            # crash recovery: peers may be blocked mid-exchange waiting on
-            # a dead worker's packet, so abort first instead of asking
-            # politely and eating the join timeout
-            self._abort.set()
-        else:
-            for q in self._cmd_qs:
-                try:
-                    q.put(("stop",))
-                except Exception:  # pragma: no cover - queue torn down
-                    pass
-        for proc in self._procs:
-            proc.join(timeout=5.0)
-        for proc in self._procs:
-            if proc.is_alive():  # pragma: no cover - stuck worker
-                self._abort.set()
-                proc.join(timeout=2.0)
-                if proc.is_alive():
-                    proc.terminate()
-        self._procs = []
+        if self._fleet is not None:
+            self._fleet.stop(force)
 
     # ---------------------------------------------------------- round hooks
 
     def _broadcast(self, cmd: tuple) -> None:
-        for q in self._cmd_qs:
-            q.put(cmd)
+        self._fleet.broadcast(cmd)
 
     def _gather(self, kind: str) -> dict[int, Any]:
         """One reply of *kind* from every worker, keyed by worker id."""
@@ -597,21 +555,21 @@ class ProcessParEngine(Engine):
         dead_cycles = 0
         while len(got) < self.n_workers:
             try:
-                w, k, payload = self._result_q.get(timeout=_POLL_S)
+                w, k, payload = self._fleet.result(timeout=_POLL_S)
             except queue.Empty:
                 awaited_dead = [
                     w
                     for w in range(self.n_workers)
-                    if w not in got and not self._procs[w].is_alive()
+                    if w not in got and not self._fleet.alive(w)
                 ]
                 if awaited_dead:
                     dead_cycles += 1
                     if dead_cycles >= _DEAD_GRACE:
-                        self._abort.set()
+                        self._fleet.request_abort()
                         raise WorkerCrashed(awaited_dead, kind)
                 continue
             if k == "error":
-                self._abort.set()
+                self._fleet.request_abort()
                 raise SimulationError(f"worker {w} failed:\n{payload}")
             if k != kind:  # pragma: no cover - protocol bug
                 raise SimulationError(f"worker {w} sent {k!r}, expected {kind!r}")
@@ -620,13 +578,13 @@ class ProcessParEngine(Engine):
 
     def _setup_contexts(self, program: CGMProgram, inputs: list[Any]) -> None:
         vpr = self.cfg.vprocs_per_real
-        for w, q in enumerate(self._cmd_qs):
+        for w in range(self.n_workers):
             local = {
                 pid: inputs[pid]
                 for real in self._plan[w]
                 for pid in range(real * vpr, (real + 1) * vpr)
             }
-            q.put(("setup", local))
+            self._fleet.send(w, ("setup", local))
         self._gather("setup")
 
     def _execute_round(self, program: CGMProgram, r: int, rngs: list) -> RoundStep:
@@ -686,7 +644,10 @@ class ProcessParEngine(Engine):
             step.all_done &= payload["all_done"]
             io.merge(payload["io"])
             self._pending |= payload["pending"]
-            replay_events(self.tracer, payload["events"], worker=w)
+            replay_events(
+                self.tracer, payload["events"], worker=w,
+                **self._fleet.event_tags(w),
+            )
         step.io = io
         return step
 
@@ -744,7 +705,7 @@ class ProcessParEngine(Engine):
         """
         backend = snap["backend"]
         vpr = self.cfg.vprocs_per_real
-        for w, q in enumerate(self._cmd_qs):
+        for w in range(self.n_workers):
             part = dict(backend)
             if w != 0:
                 part["ctx_io"] = part["msg_io"] = part["ovf"] = 0
@@ -753,7 +714,7 @@ class ProcessParEngine(Engine):
                 for real in self._plan[w]
                 for pid in range(real * vpr, (real + 1) * vpr)
             }
-            q.put(("restore", part, local_rng))
+            self._fleet.send(w, ("restore", part, local_rng))
         self._gather("restore")
         self._pending = any(bool(v) for v in backend["ready_meta"].values())
 
@@ -766,7 +727,10 @@ class ProcessParEngine(Engine):
         self._finals = finals
         for w in sorted(finals):
             outputs.update(finals[w]["outputs"])
-            replay_events(self.tracer, finals[w]["events"], worker=w)
+            replay_events(
+                self.tracer, finals[w]["events"], worker=w,
+                **self._fleet.event_tags(w),
+            )
         return [outputs[pid] for pid in range(self.cfg.v)]
 
     def _finalize(self, report: CostReport) -> None:
@@ -789,6 +753,7 @@ class ProcessParEngine(Engine):
             ovf,
         )
         emit_block_metrics(self.metrics, self.name, self.cfg, ctx_io, msg_io, ovf)
+        self._emit_transport_metrics()
         fstats = None
         for w in sorted(self._finals):
             part = self._finals[w].get("fault_stats")
@@ -800,3 +765,33 @@ class ProcessParEngine(Engine):
         if fstats is not None:
             report.fault_stats = fstats
             emit_fault_metrics(self.metrics, self.name, self.cfg, fstats)
+
+    def _emit_transport_metrics(self) -> None:
+        """``repro_transport_*``: per-node packet counts (all transports)
+        and relayed bytes (tcp, from the coordinator's relay counters)."""
+        mx = self.metrics
+        if not mx.enabled or self._fleet is None:
+            return
+        kind = self._fleet.kind
+        packets = mx.counter(
+            "repro_transport_packets_total", "worker-exchange packets by node"
+        )
+        for w in sorted(self._finals):
+            tp = self._finals[w].get("transport")
+            if not tp:
+                continue
+            node = self._fleet.node_label(w)
+            packets.labels(transport=kind, node=node, direction="sent").inc(
+                tp["sent"]
+            )
+            packets.labels(transport=kind, node=node, direction="recv").inc(
+                tp["recv"]
+            )
+        relayed = self._fleet.stats()
+        if relayed:
+            bytes_total = mx.counter(
+                "repro_transport_bytes_total",
+                "bytes of relayed exchange frames by destination node",
+            )
+            for node, s in relayed.items():
+                bytes_total.labels(transport=kind, node=node).inc(s["bytes"])

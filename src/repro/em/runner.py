@@ -118,6 +118,16 @@ def make_engine(
     eng: Engine | None = None
     if engine == "par" and cfg.p > 1:
         workers = cfg.workers or rt.workers
+        if rt.transport == "tcp" and workers <= 1:
+            # spanning machines requires the worker coordinator; with no
+            # explicit count, run one worker per configured node — but
+            # never fewer than two, or a single-node list would fall
+            # through to an in-process run that ignores the node entirely
+            # (daemons host one session per connection, so two workers on
+            # one node is plain co-tenancy)
+            from repro.core.transport import require_nodes
+
+            workers = min(max(len(require_nodes(rt.nodes)), 2), cfg.p)
         if workers > 1:
             from repro.core.workers import ProcessParEngine
 
@@ -145,6 +155,18 @@ def make_engine(
             else CheckpointManager(checkpoint)
         )
     eng.resume = bool(resume)
+    if prof_doc is not None:
+        measured = prof_doc.get("search", {}).get("transport")
+        if measured and measured != rt.transport:
+            import warnings
+
+            warnings.warn(
+                f"tuned profile was measured under the {measured!r} transport "
+                f"but this run uses {rt.transport!r}; its wall-clock choices "
+                "may not transfer (logical counters are unaffected)",
+                UserWarning,
+                stacklevel=2,
+            )
     if prof_doc is not None and tracer is not None and tracer.enabled:
         # surface the applied profile before run_begin: repro analyze
         # counts pre-superstep kinds as setup events and reports the

@@ -92,6 +92,8 @@ class TraceAnalysis:
     run_supersteps: int | None = None
     #: real processor -> OS worker, from worker-tagged events
     real_worker: dict[int, int] = field(default_factory=dict)
+    #: real processor -> node address, from node-tagged events (tcp runs)
+    real_node: dict[int, str] = field(default_factory=dict)
     #: out-of-core telemetry (arena_grow / prefetch events)
     arena_grows: int = 0
     arena_resident_peak: int = 0
@@ -136,9 +138,12 @@ class TraceAnalysis:
     # -- critical path --------------------------------------------------------
 
     def lane_label(self, real: int) -> str:
-        """``rN`` for real processor N, ``rN/wM`` when worker-tagged."""
+        """``rN`` for real processor N, ``rN/wM`` when worker-tagged,
+        plus ``@host:port`` when the worker ran on a remote node."""
         w = self.real_worker.get(real)
-        return f"r{real}" if w is None else f"r{real}/w{w}"
+        base = f"r{real}" if w is None else f"r{real}/w{w}"
+        node = self.real_node.get(real)
+        return base if node is None else f"{base}@{node}"
 
     def lane_seconds(self, row: SuperstepAgg) -> dict[int, float]:
         """Per-real-processor lane time for one superstep group.
@@ -274,7 +279,8 @@ class TraceAnalysis:
             for label, lt in cp["lanes"].items()
         ]
         lanes_table = format_table(
-            "per-lane totals (rN = real processor, wM = OS worker)",
+            "per-lane totals (rN = real processor, wM = OS worker, "
+            "@host:port = node)",
             ["lane", "comp ms", "ctx blk", "msg blk", "net items"],
             lane_rows,
         )
@@ -323,6 +329,7 @@ class TraceAnalysis:
             "drift_count": self.drift_count,
             "tuned": self.tuned,
             "real_worker": {str(k): v for k, v in sorted(self.real_worker.items())},
+            "real_node": {str(k): v for k, v in sorted(self.real_node.items())},
             "arena": {
                 "grows": self.arena_grows,
                 "resident_peak_nbytes": self.arena_resident_peak,
@@ -536,6 +543,9 @@ def analyze_events(
             worker = ev.get("worker")
             if worker is not None:
                 out.real_worker[real] = int(worker)
+            node = ev.get("node")
+            if node is not None:
+                out.real_node[real] = str(node)
             if kind in ("context_read", "context_write"):
                 blocks = int(ev.get("blocks", 0) or 0)
                 cur.ctx_blocks += blocks

@@ -58,6 +58,35 @@ class ResultCache:
         with self._lock:
             return fingerprint in self._docs
 
+    def to_docs(self) -> list[dict[str, Any]]:
+        """Entries in eviction order (oldest first), for drain persistence."""
+        with self._lock:
+            return [
+                {"fingerprint": fp, "result": doc}
+                for fp, doc in self._docs.items()
+            ]
+
+    def load(self, docs: list[dict[str, Any]]) -> int:
+        """Re-populate from :meth:`to_docs` output; returns entries kept.
+
+        Hit/miss/eviction counters stay fresh — they describe this
+        process, not the lifetime of the state directory.  A smaller
+        capacity than the writer's simply evicts the oldest entries.
+        """
+        kept = 0
+        for entry in docs:
+            fp = entry.get("fingerprint")
+            doc = entry.get("result")
+            if not fp or not isinstance(doc, dict):
+                continue
+            with self._lock:
+                self._docs[str(fp)] = doc
+                self._docs.move_to_end(str(fp))
+                while len(self._docs) > self.capacity:
+                    self._docs.popitem(last=False)
+            kept += 1
+        return kept
+
     def stats(self) -> dict[str, int]:
         with self._lock:
             return {

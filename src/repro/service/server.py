@@ -53,6 +53,7 @@ _SSE_KEEPALIVE_POLLS = 10
 _MAX_FINISHED = 1024
 
 QUEUE_STATE_FILE = "queue.json"
+CACHE_STATE_FILE = "result_cache.json"
 
 
 class DrainingError(ServiceError):
@@ -253,6 +254,7 @@ class ServiceCore:
         saved = self.queue.persist(
             os.path.join(self.state_dir, QUEUE_STATE_FILE), extra=preempted
         )
+        self._persist_cache()
         with self._jobs_lock:
             open_jobs = [j for j in self.jobs.values() if not j.terminal]
         for job in open_jobs:
@@ -260,7 +262,33 @@ class ServiceCore:
         self._drained.set()
         return saved
 
+    def _persist_cache(self) -> None:
+        """Write the result cache next to ``queue.json`` so a restarted
+        server keeps serving hits: before this existed, a drain threw the
+        cache away and every resubmitted spec re-ran from scratch."""
+        docs = self.cache.to_docs()
+        if not docs:
+            return
+        path = os.path.join(self.state_dir, CACHE_STATE_FILE)
+        tmp = path + ".tmp"
+        with open(tmp, "w") as fh:
+            json.dump({"entries": docs}, fh, default=_jsonable)
+        os.replace(tmp, path)
+
+    def _restore_cache(self) -> None:
+        path = os.path.join(self.state_dir, CACHE_STATE_FILE)
+        if not os.path.exists(path):
+            return
+        try:
+            with open(path) as fh:
+                doc = json.load(fh)
+            self.cache.load(doc.get("entries", []))
+        except (OSError, ValueError):
+            pass  # a corrupt cache file is a cold cache, not a crash
+        os.remove(path)
+
     def _restore_state(self) -> None:
+        self._restore_cache()
         path = os.path.join(self.state_dir, QUEUE_STATE_FILE)
         docs = JobQueue.load_persisted(path)
         if not docs:

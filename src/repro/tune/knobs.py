@@ -49,6 +49,9 @@ DEFAULT_AUTO_BLOCKS = 32
 #: storage backends the track arena can use (see repro.pdm.mmap_arena).
 ARENA_KINDS = ("ram", "mmap")
 
+#: worker-exchange transports (see repro.core.transport).
+TRANSPORT_KINDS = ("memory", "shm", "tcp")
+
 
 def _bool_tokens() -> str:
     return "/".join(sorted(_TRUE)) + " or " + "/".join(sorted(_FALSE))
@@ -99,6 +102,20 @@ def _parse_arena(raw: str) -> str:
     if tok not in ARENA_KINDS:
         raise ValueError(f"choose from {ARENA_KINDS}")
     return tok
+
+
+def _parse_transport(raw: str) -> str:
+    tok = raw.lower()
+    if tok not in TRANSPORT_KINDS:
+        raise ValueError(f"choose from {TRANSPORT_KINDS}")
+    return tok
+
+
+def _parse_nodes(raw: str) -> str:
+    # canonicalized so equal node lists compare equal in RuntimeConfig
+    from repro.core.transport.base import parse_nodes, render_nodes
+
+    return render_nodes(parse_nodes(raw))
 
 
 def _parse_shm_bytes(raw: str) -> "int | None":
@@ -191,6 +208,20 @@ KNOBS: tuple[KnobSpec, ...] = (
         "pdm.pipeline",
         "double-buffered superstep context prefetch (fast path only)",
         invalid_example="maybe",
+    ),
+    KnobSpec(
+        "transport", "REPRO_TRANSPORT", "memory|shm|tcp", "shm",
+        _parse_transport, "core.transport",
+        "worker-exchange transport: queue pickling, queue + shared-memory "
+        "bulk segments, or framed TCP to `repro node` daemons",
+        invalid_example="carrier-pigeon",
+    ),
+    KnobSpec(
+        "nodes", "REPRO_NODES", "host:port,...", None, _parse_nodes,
+        "core.transport",
+        "node daemons the tcp transport dials, one per worker "
+        "(comma-separated host:port list)",
+        invalid_example="localhost:notaport",
     ),
     KnobSpec(
         "shm_bytes", "REPRO_SHM_BYTES", "int bytes (<= 0 disables)",

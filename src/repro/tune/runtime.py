@@ -40,6 +40,8 @@ class RuntimeConfig:
     fastpath: str = "on"
     arena: str = "ram"
     prefetch: bool = True
+    transport: str = "shm"
+    nodes: "str | None" = None
     shm_bytes: "int | None" = DEFAULT_SHM_THRESHOLD
     spill_quota: "int | None" = None
     spill_dir: "str | None" = None

@@ -329,6 +329,9 @@ def tune(
             "probe_n": n_probe,
             "reps": reps,
             "top_k": top_k,
+            # probes run in-process, so they measure the ambient
+            # transport; apply-time warns if a run uses a different one
+            "transport": RuntimeConfig.from_env().transport,
         },
     )
     if tracer is not None:

@@ -59,6 +59,10 @@ class TestDispatch:
         from repro.core.par_engine import ParEMEngine
 
         monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        # the tcp transport implies the worker coordinator, so the ambient
+        # distributed-lane environment must not leak into this default
+        monkeypatch.delenv("REPRO_TRANSPORT", raising=False)
+        monkeypatch.delenv("REPRO_NODES", raising=False)
         cfg = MachineConfig(N=N, v=V, p=2, D=D, B=B)
         eng = make_engine(cfg, "par")
         assert type(eng) is ParEMEngine
@@ -176,6 +180,14 @@ class _Boom(CGMProgram):
         return None
 
 
+def assert_workers_reaped(eng) -> None:
+    """Whatever the transport, no worker is left running after a run."""
+    fleet = eng._fleet
+    if hasattr(fleet, "_procs"):  # local backends hold the process list
+        assert fleet._procs == []
+    assert not any(fleet.alive(w) for w in range(fleet.n_workers))
+
+
 class TestFailureHandling:
     def test_worker_exception_propagates_and_cleans_up(self):
         from repro.util.validation import SimulationError
@@ -184,7 +196,7 @@ class TestFailureHandling:
         eng = make_engine(cfg, "par")
         with pytest.raises(SimulationError, match="deliberate failure"):
             eng.run(_Boom(), [None] * 4)
-        assert eng._procs == []  # all worker processes reaped
+        assert_workers_reaped(eng)
 
     def test_processes_reaped_after_success(self):
         cfg = MachineConfig(N=1 << 12, v=4, p=2, D=D, B=32, workers=2)
@@ -194,7 +206,7 @@ class TestFailureHandling:
         from repro.algorithms.sorting import SampleSort
 
         eng.run(SampleSort(), partition_array(data, 4))
-        assert eng._procs == []
+        assert_workers_reaped(eng)
 
 
 class _InboxRecorder(CGMProgram):

@@ -283,6 +283,161 @@ class TestCrossArenaResume:
         assert counters(clean.report) == counters(resumed.report)
 
 
+#: test hook consumed by NodeKillerSort.round (set per-test, one-shot);
+#: lives at module scope because in-process node sessions share this
+#: interpreter — the unpickled program sees the same global.
+_NODE_KILL = None
+
+
+class NodeKillerSort(SampleSort):
+    """Sample sort that severs its own node's session at a given round.
+
+    The hook closes the session *socket* (simulated machine death), not
+    an exception: the coordinator must detect the dead connection and
+    recover, exactly as if a remote node had been powered off.
+    """
+
+    def __init__(self, kill_round: int) -> None:
+        super().__init__()
+        self.kill_round = kill_round
+
+    def round(self, r, ctx, env):
+        global _NODE_KILL
+        if r == self.kill_round and env.pid == 0 and _NODE_KILL is not None:
+            hook, _NODE_KILL = _NODE_KILL, None  # one-shot
+            hook()
+        return super().round(r, ctx, env)
+
+
+class NodeKillerThenKillSort(NodeKillerSort):
+    """Node death at one round, an external kill at a later one."""
+
+    def __init__(self, kill_node_round: int, flag_path: str) -> None:
+        super().__init__(kill_node_round)
+        self.flag_path = flag_path
+
+    def round(self, r, ctx, env):
+        if r == KILL_ROUND and os.path.exists(self.flag_path):
+            os.unlink(self.flag_path)
+            raise KeyboardInterrupt("simulated kill")
+        return super().round(r, ctx, env)
+
+
+class TestCrossTransportResume:
+    """Checkpoints are portable across worker-exchange transports: a run
+    killed under tcp resumes under memory (and vice versa) bit-identically,
+    and a node dying mid-run is redispatched over a fresh connection."""
+
+    CFG = MachineConfig(N=N, v=V, p=4, D=D, B=B, workers=2)
+
+    @pytest.fixture
+    def node_pair(self):
+        from repro.core.transport.node import NodeServer
+
+        servers = [NodeServer().start_thread(), NodeServer().start_thread()]
+        yield servers
+        for s in servers:
+            s.shutdown()
+
+    def set_transport(self, monkeypatch, kind, node_pair=None):
+        monkeypatch.setenv("REPRO_TRANSPORT", kind)
+        if kind == "tcp":
+            monkeypatch.setenv(
+                "REPRO_NODES", ",".join(s.address for s in node_pair)
+            )
+        else:
+            monkeypatch.delenv("REPRO_NODES", raising=False)
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize(
+        "kill_transport,resume_transport",
+        [("tcp", "memory"), ("memory", "tcp")],
+    )
+    def test_checkpoint_ports_across_transports(
+        self, tmp_path, monkeypatch, node_pair, kill_transport, resume_transport
+    ):
+        self.set_transport(monkeypatch, "memory")
+        clean = run_sort(self.CFG)  # local baseline
+
+        ck = str(tmp_path / "ck")
+        flag = str(tmp_path / "kill.flag")
+        open(flag, "w").write("1")
+        self.set_transport(monkeypatch, kill_transport, node_pair)
+        with pytest.raises((KeyboardInterrupt, SimulationError)):
+            run_sort(self.CFG, program=KillableSort(KILL_ROUND, flag), checkpoint=ck)
+        assert not os.path.exists(flag), "the kill never fired"
+
+        self.set_transport(monkeypatch, resume_transport, node_pair)
+        tr = JsonlRecorder()
+        resumed = run_sort(self.CFG, checkpoint=ck, resume=True, tracer=tr)
+        for a, b in zip(clean.outputs, resumed.outputs):
+            assert np.array_equal(a, b)
+        assert counters(clean.report) == counters(resumed.report)
+        assert tr.counts().get("resume") == 1
+
+    @pytest.mark.slow
+    def test_node_death_mid_run_redispatches(
+        self, tmp_path, monkeypatch, node_pair
+    ):
+        """The socket of the node hosting worker 0 is hard-closed during
+        the kill round; the coordinator respawns the session from the last
+        checkpoint and the run self-heals bit-identically."""
+        global _NODE_KILL
+        self.set_transport(monkeypatch, "memory")
+        clean = run_sort(self.CFG)
+
+        self.set_transport(monkeypatch, "tcp", node_pair)
+        tracer = JsonlRecorder()
+        _NODE_KILL = node_pair[0].kill_session
+        try:
+            healed = run_sort(
+                self.CFG,
+                program=NodeKillerSort(KILL_ROUND),
+                checkpoint=str(tmp_path / "ck"),
+                tracer=tracer,
+            )
+        finally:
+            _NODE_KILL = None
+        assert tracer.counts().get("worker_redispatch", 0) >= 1
+        assert node_pair[0].sessions >= 2  # reconnected after the death
+        for a, b in zip(clean.outputs, healed.outputs):
+            assert np.array_equal(a, b)
+        assert counters(clean.report) == counters(healed.report)
+
+    @pytest.mark.slow
+    def test_node_death_then_resume_under_memory(
+        self, tmp_path, monkeypatch, node_pair
+    ):
+        """Node death and an external kill in the same run: the node dies
+        at round 1, the respawned run is killed at round 2, and the
+        checkpoint still resumes cleanly under the memory transport."""
+        global _NODE_KILL
+        self.set_transport(monkeypatch, "memory")
+        clean = run_sort(self.CFG)
+
+        ck = str(tmp_path / "ck")
+        flag = str(tmp_path / "kill.flag")
+        open(flag, "w").write("1")
+        self.set_transport(monkeypatch, "tcp", node_pair)
+        _NODE_KILL = node_pair[1].kill_session
+        try:
+            with pytest.raises((KeyboardInterrupt, SimulationError)):
+                run_sort(
+                    self.CFG,
+                    program=NodeKillerThenKillSort(KILL_ROUND - 1, flag),
+                    checkpoint=ck,
+                )
+        finally:
+            _NODE_KILL = None
+        assert not os.path.exists(flag), "the kill never fired"
+
+        self.set_transport(monkeypatch, "memory")
+        resumed = run_sort(self.CFG, checkpoint=ck, resume=True)
+        for a, b in zip(clean.outputs, resumed.outputs):
+            assert np.array_equal(a, b)
+        assert counters(clean.report) == counters(resumed.report)
+
+
 class TestServicePath:
     """Preempt/resume through the job-service execution path: the same
     checkpoint invariants hold when the run is described by a ``JobSpec``

@@ -273,6 +273,45 @@ class TestDrain:
         finally:
             restarted.drain(timeout=WAIT_S)
 
+    def test_drain_persists_result_cache(self, tmp_path):
+        """Regression: the result cache used to die with the process —
+        ``queue.json`` survived a SIGTERM drain but every cached result
+        was lost, so identical resubmissions after a restart re-ran."""
+        import os
+
+        from repro.service.server import CACHE_STATE_FILE
+
+        state = str(tmp_path / "state")
+        core = ServiceCore(state_dir=state, pool_size=1)
+        job, from_cache = core.submit(SPEC)
+        assert not from_cache
+        assert job.finished.wait(WAIT_S)
+        assert core.drain(timeout=WAIT_S) == 0  # nothing in flight...
+        assert os.path.exists(os.path.join(state, CACHE_STATE_FILE))
+
+        restarted = ServiceCore(state_dir=state, pool_size=1)
+        try:
+            # ...but the finished result is served straight from the
+            # reloaded cache, bit-identical to the first run
+            again, hit = restarted.submit(SPEC)
+            assert hit and again.cache == "hit"
+            assert again.result == job.result
+            # the state file is consumed on restore, not replayed forever
+            assert not os.path.exists(os.path.join(state, CACHE_STATE_FILE))
+        finally:
+            restarted.drain(timeout=WAIT_S)
+
+    def test_cache_reload_respects_capacity(self, tmp_path):
+        from repro.service.cache import ResultCache
+
+        cache = ResultCache(capacity=8)
+        for i in range(8):
+            cache.put(f"fp{i}", {"i": i})
+        small = ResultCache(capacity=3)
+        assert small.load(cache.to_docs()) == 8
+        assert len(small) == 3
+        assert "fp7" in small and "fp0" not in small  # oldest evicted
+
     def test_draining_refuses_submissions_503(self, tmp_path):
         core = ServiceCore(state_dir=str(tmp_path / "s"), pool_size=1)
         server = JobServer(core).start()
